@@ -1,0 +1,24 @@
+"""Benchmark harness helpers.
+
+Every table/figure bench regenerates its experiment once (simulations are
+deterministic per seed — repeated rounds would measure the same run),
+prints the reproduced table next to the paper's values, and asserts the
+qualitative checks.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from repro.experiments.registry import get_experiment
+
+
+def run_experiment_bench(benchmark, exp_id, duration=None, seed=0):
+    """Benchmark one experiment driver and print its comparison table."""
+    exp = get_experiment(exp_id)
+    result = benchmark.pedantic(
+        lambda: exp.run(seed=seed, duration=duration), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    failing = [name for name, ok in result.checks.items() if not ok]
+    assert not failing, f"{exp_id} qualitative checks failed: {failing}"
+    return result

@@ -1,0 +1,35 @@
+"""Benchmarks: the ablation studies beyond the paper's tables."""
+
+from conftest import run_experiment_bench
+
+
+def test_ablation_mild_factor(benchmark):
+    run_experiment_bench(benchmark, "ablation-mild-factor")
+
+
+def test_ablation_rts_defer(benchmark):
+    run_experiment_bench(benchmark, "ablation-rts-defer")
+
+
+def test_ablation_copying(benchmark):
+    run_experiment_bench(benchmark, "ablation-copying")
+
+
+def test_ablation_multicast(benchmark):
+    run_experiment_bench(benchmark, "ablation-multicast")
+
+
+def test_ablation_failure_detection(benchmark):
+    run_experiment_bench(benchmark, "ablation-failure-detection")
+
+
+def test_ablation_ack_variants(benchmark):
+    run_experiment_bench(benchmark, "ablation-ack-variants")
+
+
+def test_ablation_carrier_sense(benchmark):
+    run_experiment_bench(benchmark, "ablation-carrier-sense")
+
+
+def test_ablation_polling(benchmark):
+    run_experiment_bench(benchmark, "ablation-polling")

@@ -1,0 +1,49 @@
+"""Micro-benchmarks: simulator engine throughput.
+
+These measure the machinery itself (events per second, a saturated MACAW
+cell) so performance regressions in the kernel or medium show up
+independently of the reproduction benches.
+"""
+
+from repro.sim.kernel import Simulator
+from repro.topo.figures import fig3_six_pads, single_stream_cell
+
+
+def test_kernel_event_throughput(benchmark):
+    """Schedule-and-fire cost of the bare event loop."""
+
+    def run():
+        sim = Simulator()
+
+        def chain(n):
+            if n:
+                sim.schedule(0.001, chain, n - 1)
+
+        chain(50_000)
+        sim.run()
+        return sim.events_fired
+
+    fired = benchmark(run)
+    assert fired == 50_000
+
+
+def test_single_stream_cell_speed(benchmark):
+    """Packet-level cost of one saturated MACAW stream (100 s simulated)."""
+
+    def run():
+        scenario = single_stream_cell(protocol="macaw", seed=1).build().run(100.0)
+        return scenario.sim.events_fired
+
+    fired = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert fired > 10_000
+
+
+def test_six_pad_cell_speed(benchmark):
+    """A contended six-pad MACAW cell (100 s simulated)."""
+
+    def run():
+        scenario = fig3_six_pads(protocol="macaw", seed=1).build().run(100.0)
+        return scenario.sim.events_fired
+
+    fired = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert fired > 50_000

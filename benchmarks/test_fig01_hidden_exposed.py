@@ -1,0 +1,7 @@
+"""Benchmark: Figure 1's hidden/exposed terminal pathologies, CSMA vs MACA."""
+
+from conftest import run_experiment_bench
+
+
+def test_fig1(benchmark):
+    run_experiment_bench(benchmark, "fig1")

@@ -1,0 +1,7 @@
+"""Benchmark: Figure 8's backoff leakage between unequally congested cells."""
+
+from conftest import run_experiment_bench
+
+
+def test_fig8(benchmark):
+    run_experiment_bench(benchmark, "fig8")

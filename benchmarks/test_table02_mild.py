@@ -1,0 +1,7 @@
+"""Benchmark: regenerate the paper's Table 2."""
+
+from conftest import run_experiment_bench
+
+
+def test_table2(benchmark):
+    run_experiment_bench(benchmark, "table2")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate the paper's Table 4."""
+
+from conftest import run_experiment_bench
+
+
+def test_table4(benchmark):
+    run_experiment_bench(benchmark, "table4")

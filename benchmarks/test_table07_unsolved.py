@@ -1,0 +1,7 @@
+"""Benchmark: regenerate the paper's Table 7."""
+
+from conftest import run_experiment_bench
+
+
+def test_table7(benchmark):
+    run_experiment_bench(benchmark, "table7")

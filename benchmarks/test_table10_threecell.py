@@ -1,0 +1,7 @@
+"""Benchmark: regenerate the paper's Table 10."""
+
+from conftest import run_experiment_bench
+
+
+def test_table10(benchmark):
+    run_experiment_bench(benchmark, "table10")

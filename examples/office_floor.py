@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""The PARC office floor (§3.5, Figure 11): MACA vs MACAW end-to-end.
+
+Four cells — an open area with four pads and whiteboard noise, two
+offices, and a coffee room that pad P7 walks into mid-run — all carrying
+TCP.  This is the paper's most complete scenario: congestion, noise, and
+mobility at once.  The script prints per-stream throughput for both
+protocols and a timeline of P7's stream as it appears.
+
+Run:  python examples/office_floor.py
+"""
+
+from repro.analysis import jain_fairness, throughput_timeseries
+from repro.topo.figures import fig11_office
+
+DURATION_S = 600.0
+WARMUP_S = 50.0
+P7_ARRIVAL_S = 180.0
+
+
+def run(protocol: str):
+    scenario = (
+        fig11_office(protocol=protocol, seed=11, p7_arrival_s=P7_ARRIVAL_S)
+        .build()
+        .run(DURATION_S)
+    )
+    return scenario
+
+
+def main() -> None:
+    print(f"Simulating {DURATION_S:.0f} s of the office floor under both protocols ...")
+    maca = run("maca")
+    macaw = run("macaw")
+
+    maca_tp = maca.throughputs(warmup=WARMUP_S)
+    macaw_tp = macaw.throughputs(warmup=WARMUP_S)
+    print(f"\n  {'stream':<8} {'MACA':>8} {'MACAW':>8}")
+    for stream in maca_tp:
+        print(f"  {stream:<8} {maca_tp[stream]:8.2f} {macaw_tp[stream]:8.2f}")
+    print(f"  {'TOTAL':<8} {sum(maca_tp.values()):8.2f} {sum(macaw_tp.values()):8.2f}")
+    print(f"  Jain fairness: MACA {jain_fairness(list(maca_tp.values())):.3f}"
+          f" vs MACAW {jain_fairness(list(macaw_tp.values())):.3f}")
+
+    print(f"\nP7 enters the coffee room at t = {P7_ARRIVAL_S:.0f} s (MACAW run):")
+    series = throughput_timeseries(
+        macaw.recorder, "P7-B4", 0.0, DURATION_S, bin_s=60.0
+    )
+    for start, pps in series:
+        bar = "#" * int(pps)
+        print(f"  t={start:5.0f}s  {pps:5.1f} pps  {bar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""MACAW reproduction: packet-level wireless MAC simulation.
+
+A from-scratch reproduction of *MACAW: A Media Access Protocol for Wireless
+LAN's* (Bharghavan, Demers, Shenker, Zhang — SIGCOMM 1994): the
+discrete-event simulator, the PARC nano-cellular radio model, the CSMA and
+MACA baselines, the MACAW protocol with all of the paper's amendments, the
+UDP/TCP substrates, and experiment drivers that regenerate every table.
+
+Quick start::
+
+    from repro import ScenarioBuilder
+
+    builder = ScenarioBuilder(seed=1, protocol="macaw")
+    builder.add_base("B")
+    builder.add_pad("P1")
+    builder.add_pad("P2")
+    builder.clique("B", "P1", "P2")
+    builder.udp("P1", "B", rate_pps=64)
+    builder.udp("P2", "B", rate_pps=64)
+    scenario = builder.build().run(200)
+    print(scenario.throughputs(warmup=50))
+"""
+
+from repro.sim import Simulator
+from repro.phy import GraphMedium, GridMedium, PacketErrorModel, NoiseSource
+from repro.mac import CsmaMac, CsmaConfig, FrameType, MacTiming
+from repro.mac.maca import MacaMac
+from repro.core import MacawMac, ProtocolConfig
+from repro.core.config import MACA_CONFIG, MACAW_CONFIG, maca_config, macaw_config
+from repro.net import UdpStream, TcpStream, TcpConfig, FlowRecorder
+from repro.topo import Scenario, ScenarioBuilder, Station
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Simulator",
+    "GraphMedium",
+    "GridMedium",
+    "PacketErrorModel",
+    "NoiseSource",
+    "CsmaMac",
+    "CsmaConfig",
+    "FrameType",
+    "MacTiming",
+    "MacaMac",
+    "MacawMac",
+    "ProtocolConfig",
+    "MACA_CONFIG",
+    "MACAW_CONFIG",
+    "maca_config",
+    "macaw_config",
+    "UdpStream",
+    "TcpStream",
+    "TcpConfig",
+    "FlowRecorder",
+    "Scenario",
+    "ScenarioBuilder",
+    "Station",
+    "__version__",
+]

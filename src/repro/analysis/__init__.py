@@ -1,0 +1,30 @@
+"""Analysis: fairness and utilization metrics, and table rendering.
+
+The paper's evaluation criterion (§3): "the media access protocol should
+deliver high network utilization and also provide fair access to the
+media."  This package turns :class:`~repro.net.sink.FlowRecorder` logs into
+the numbers the tables report and the fairness measures §3.5 discusses
+(max spread between same-cell streams) plus Jain's index as the standard
+summary statistic.
+"""
+
+from repro.analysis.metrics import (
+    jain_fairness,
+    max_spread,
+    total_throughput,
+    channel_utilization,
+    throughput_timeseries,
+    delay_percentiles,
+)
+from repro.analysis.tables import ComparisonTable, format_table
+
+__all__ = [
+    "jain_fairness",
+    "max_spread",
+    "total_throughput",
+    "channel_utilization",
+    "throughput_timeseries",
+    "delay_percentiles",
+    "ComparisonTable",
+    "format_table",
+]

@@ -1,0 +1,112 @@
+"""Throughput, fairness and utilization metrics."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.net.sink import FlowRecorder
+
+
+def jain_fairness(values: Sequence[float]) -> float:
+    """Jain's fairness index: (Σx)² / (n·Σx²); 1.0 is perfectly fair.
+
+    All-zero allocations are defined as perfectly fair (index 1.0) —
+    nothing is being shared unequally.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("fairness of an empty allocation is undefined")
+    if any(v < 0 for v in values):
+        raise ValueError("throughputs must be non-negative")
+    total = sum(values)
+    if total == 0.0:
+        return 1.0
+    squares = sum(v * v for v in values)
+    return (total * total) / (len(values) * squares)
+
+
+def max_spread(values: Sequence[float]) -> float:
+    """Largest pairwise difference — the fairness measure §3.5 quotes
+    ("the maximum difference between throughput for any two streams")."""
+    values = list(values)
+    if not values:
+        raise ValueError("spread of an empty allocation is undefined")
+    return max(values) - min(values)
+
+
+def total_throughput(values: Iterable[float]) -> float:
+    """Aggregate throughput across streams."""
+    return sum(values)
+
+
+def channel_utilization(
+    pps: float, packet_bytes: int = 512, bitrate_bps: float = 256_000.0
+) -> float:
+    """Fraction of channel capacity carried as data payload.
+
+    §3.5 uses exactly this: "MACA achieves a data rate of roughly 217 kbps,
+    which is 84% channel capacity."
+    """
+    if pps < 0:
+        raise ValueError("throughput must be non-negative")
+    if packet_bytes <= 0 or bitrate_bps <= 0:
+        raise ValueError("packet size and bitrate must be positive")
+    return (pps * packet_bytes * 8) / bitrate_bps
+
+
+def throughput_timeseries(
+    recorder: FlowRecorder,
+    stream: str,
+    start: float,
+    end: float,
+    bin_s: float = 10.0,
+) -> List[Tuple[float, float]]:
+    """(bin start, pps) series — used to watch dynamics like Figure 9's
+    power-off or Figure 11's mid-run arrival."""
+    if bin_s <= 0:
+        raise ValueError("bin width must be positive")
+    if end <= start:
+        raise ValueError("need end > start")
+    series: List[Tuple[float, float]] = []
+    t = start
+    while t < end:
+        hi = min(t + bin_s, end)
+        count = recorder.flow(stream).count_between(t, hi)
+        series.append((t, count / (hi - t)))
+        t = hi
+    return series
+
+
+def delay_percentiles(
+    recorder: FlowRecorder,
+    stream: str,
+    start: float,
+    end: float,
+    percentiles: Sequence[float] = (50.0, 95.0, 99.0),
+) -> Dict[float, float]:
+    """End-to-end delay percentiles (seconds) over [start, end).
+
+    Media-access delay is the user-visible cost of backoff and deferral;
+    the paper reports only throughput, but a downstream user of this
+    library will want latency too.  Raises ValueError when the window
+    holds no delay samples.
+    """
+    import numpy as np
+
+    delays = recorder.flow(stream).delays_between(start, end)
+    if not delays:
+        raise ValueError(f"no delay samples for {stream!r} in [{start}, {end})")
+    values = np.percentile(np.asarray(delays), list(percentiles))
+    return {p: float(v) for p, v in zip(percentiles, values)}
+
+
+def per_cell_fairness(
+    throughputs: Dict[str, float], cells: Dict[str, List[str]]
+) -> Dict[str, float]:
+    """Max spread within each cell, given cell → [stream ids]."""
+    out: Dict[str, float] = {}
+    for cell, streams in cells.items():
+        values = [throughputs[s] for s in streams if s in throughputs]
+        if values:
+            out[cell] = max_spread(values)
+    return out

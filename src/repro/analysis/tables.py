@@ -1,0 +1,87 @@
+"""Rendering experiment results in the paper's table format.
+
+A :class:`ComparisonTable` holds per-stream rows with one column per
+protocol variant (exactly how Tables 1–11 are laid out) plus optional
+paper-reported reference values, and renders as aligned plain text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Align columns; first column left-justified, the rest right."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def render(cells: Sequence[str]) -> str:
+        out = [cells[0].ljust(widths[0])]
+        out += [cells[i].rjust(widths[i]) for i in range(1, len(cells))]
+        return "  ".join(out)
+    lines = [render(list(headers)), "  ".join("-" * w for w in widths)]
+    lines += [render(list(row)) for row in rows]
+    return "\n".join(lines)
+
+
+@dataclass
+class ComparisonTable:
+    """One reproduced table: streams × variants, with paper references.
+
+    ``measured[variant][stream]`` and ``paper[variant][stream]`` hold
+    packets-per-second values; streams render in insertion order of
+    ``stream_order``.
+    """
+
+    title: str
+    stream_order: List[str] = field(default_factory=list)
+    measured: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    paper: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def add(self, variant: str, stream: str, value: float,
+            paper_value: Optional[float] = None) -> None:
+        if stream not in self.stream_order:
+            self.stream_order.append(stream)
+        self.measured.setdefault(variant, {})[stream] = value
+        if paper_value is not None:
+            self.paper.setdefault(variant, {})[stream] = paper_value
+
+    def variants(self) -> List[str]:
+        return list(self.measured)
+
+    def totals(self) -> Dict[str, float]:
+        """Aggregate throughput per variant."""
+        return {v: sum(vals.values()) for v, vals in self.measured.items()}
+
+    def value(self, variant: str, stream: str) -> float:
+        return self.measured[variant][stream]
+
+    def render(self, show_paper: bool = True) -> str:
+        headers = ["stream"]
+        for variant in self.measured:
+            headers.append(variant)
+            if show_paper and variant in self.paper:
+                headers.append(f"{variant} (paper)")
+        rows: List[List[str]] = []
+        for stream in self.stream_order:
+            row = [stream]
+            for variant in self.measured:
+                row.append(f"{self.measured[variant].get(stream, float('nan')):.2f}")
+                if show_paper and variant in self.paper:
+                    ref = self.paper[variant].get(stream)
+                    row.append("-" if ref is None else f"{ref:.2f}")
+            rows.append(row)
+        total_row = ["TOTAL"]
+        for variant in self.measured:
+            total_row.append(f"{sum(self.measured[variant].values()):.2f}")
+            if show_paper and variant in self.paper:
+                total_row.append(f"{sum(self.paper[variant].values()):.2f}")
+        rows.append(total_row)
+        return f"{self.title}\n" + format_table(headers, rows)
+
+    def __str__(self) -> str:
+        return self.render()

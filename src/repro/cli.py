@@ -1,0 +1,95 @@
+"""Command-line interface: run reproduced experiments.
+
+Usage::
+
+    macaw-sim list
+    macaw-sim table5
+    macaw-sim table5 --seed 3 --duration 200
+    macaw-sim all --duration 200
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.registry import all_experiments, experiment_ids, get_experiment
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="macaw-sim",
+        description="MACAW (SIGCOMM '94) reproduction: run the paper's experiments.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see 'list'), or 'all', or 'list'",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master random seed")
+    parser.add_argument(
+        "--seeds", type=int, default=1,
+        help="run N seeds (seed..seed+N-1) and report means + pass rates",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=None,
+        help="simulated seconds per run (default: experiment-specific)",
+    )
+    parser.add_argument(
+        "--warmup", type=float, default=None,
+        help="seconds excluded from throughput (default 50, as in the paper)",
+    )
+    parser.add_argument(
+        "--no-paper", action="store_true",
+        help="hide the paper's reference columns",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.experiment == "list":
+        for exp_id in experiment_ids():
+            exp = get_experiment(exp_id)
+            print(f"{exp_id:24} {exp.spec.title}")
+        return 0
+
+    if args.experiment == "all":
+        experiments = all_experiments()
+    else:
+        try:
+            experiments = [get_experiment(args.experiment)]
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+
+    all_passed = True
+    for exp in experiments:
+        started = time.perf_counter()
+        if args.seeds > 1:
+            seeds = range(args.seed, args.seed + args.seeds)
+            sweep = exp.run_seeds(seeds, duration=args.duration, warmup=args.warmup)
+            elapsed = time.perf_counter() - started
+            print(sweep.mean_table().render(show_paper=not args.no_paper))
+            rates = sweep.check_pass_rates()
+            for name, rate in rates.items():
+                print(f"  [{rate:4.0%}] {name}")
+            print(f"  ({args.seeds} seeds in {elapsed:.1f}s wall)")
+            print()
+            all_passed = all_passed and all(r == 1.0 for r in rates.values())
+            continue
+        result = exp.run(seed=args.seed, duration=args.duration, warmup=args.warmup)
+        elapsed = time.perf_counter() - started
+        print(result.table.render(show_paper=not args.no_paper))
+        for name, ok in result.checks.items():
+            print(f"  [{'PASS' if ok else 'FAIL'}] {name}")
+        print(f"  ({result.duration:g}s simulated in {elapsed:.1f}s wall, seed {result.seed})")
+        print()
+        all_passed = all_passed and result.passed
+    return 0 if all_passed else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,338 @@
+"""Backoff adjustment, copying, and per-destination estimation.
+
+Three layers, matching the paper's narrative:
+
+1. **Adjustment** (§3.1): how a single counter moves.
+   BEB doubles on failure and resets to BO_min on success; MILD multiplies
+   by 1.5 on failure and decrements by 1 on success.
+
+2. **Copying** (§3.1): congestion learning is collective.  Every packet
+   header carries the sender's backoff; any station that hears a packet
+   copies that value, so all stations in a cell share one view of the
+   ambient contention level.
+
+3. **Per-destination estimation** (§3.4, Appendix B.2): one number cannot
+   describe inhomogeneous congestion, so each station keeps, per remote
+   station Q: an estimate of Q's congestion (``remote``), the local value
+   used in exchanges with Q (``local``), an exchange sequence number, and a
+   retry count.  The backoff used when transmitting to Q is the **sum** of
+   the two ends' values (footnote 9).
+
+:class:`BackoffBook` packages all three behind the handful of events a MAC
+state machine generates: attempt, success, timeout, give-up, frame heard.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.config import ProtocolConfig
+from repro.mac.frames import Frame, FrameType
+
+
+class BackoffAlgorithm(ABC):
+    """How one backoff counter responds to failure and success."""
+
+    def __init__(self, bo_min: float, bo_max: float) -> None:
+        if not 1 <= bo_min <= bo_max:
+            raise ValueError(f"need 1 <= bo_min <= bo_max, got {bo_min!r}, {bo_max!r}")
+        self.bo_min = bo_min
+        self.bo_max = bo_max
+
+    def clamp(self, value: float) -> float:
+        """Clip a counter into [bo_min, bo_max]."""
+        return min(max(value, self.bo_min), self.bo_max)
+
+    @abstractmethod
+    def increase(self, value: float) -> float:
+        """Counter after a failed attempt."""
+
+    @abstractmethod
+    def decrease(self, value: float) -> float:
+        """Counter after a successful exchange."""
+
+
+class BinaryExponentialBackoff(BackoffAlgorithm):
+    """BEB: F_inc(x) = min(2x, BO_max); F_dec(x) = BO_min (§3.1)."""
+
+    def increase(self, value: float) -> float:
+        return self.clamp(2.0 * value)
+
+    def decrease(self, value: float) -> float:
+        return self.bo_min
+
+
+class MildBackoff(BackoffAlgorithm):
+    """MILD: F_inc(x) = min(1.5x, BO_max); F_dec(x) = max(x-1, BO_min).
+
+    Multiplicative increase / linear decrease avoids BEB's oscillation:
+    the counter neither resets to the floor after one success nor needs a
+    fresh contention war after every transmission (§3.1).
+    """
+
+    INCREASE_FACTOR = 1.5
+
+    def __init__(self, bo_min: float, bo_max: float, factor: float = INCREASE_FACTOR) -> None:
+        super().__init__(bo_min, bo_max)
+        if factor <= 1.0:
+            raise ValueError(f"MILD factor must exceed 1, got {factor!r}")
+        self.factor = factor
+
+    def increase(self, value: float) -> float:
+        return self.clamp(self.factor * value)
+
+    def decrease(self, value: float) -> float:
+        return self.clamp(value - 1.0)
+
+
+def make_backoff(name: str, bo_min: float, bo_max: float) -> BackoffAlgorithm:
+    """Factory keyed by the config string ('beb' or 'mild')."""
+    if name == "beb":
+        return BinaryExponentialBackoff(bo_min, bo_max)
+    if name == "mild":
+        return MildBackoff(bo_min, bo_max)
+    raise ValueError(f"unknown backoff algorithm {name!r}")
+
+
+@dataclass
+class RemoteEstimate:
+    """Per-remote-station bookkeeping (Appendix B.2).
+
+    ``remote`` is our estimate of the remote's congestion (None is the
+    paper's I_DONT_KNOW).  ``local`` is the local value bound to the
+    in-progress exchange with that station; it synchronizes with
+    ``my_backoff`` when an exchange begins and when a handshake completes.
+    """
+
+    remote: Optional[float] = None
+    local: float = 0.0
+    #: Highest exchange sequence number seen FROM this station.
+    seen_esn: int = -1
+    #: Retries observed in the current incoming exchange.
+    recv_retries: int = 0
+    #: True after max_retries exhausted against this station; the B.2
+    #: give-up rule pins the local value at MAX_BACKOFF until we hear
+    #: something fresh from (or about) the station.
+    gave_up: bool = False
+
+
+class BackoffBook:
+    """All backoff state for one station.
+
+    The MAC drives it with five events and reads two values:
+
+    * :meth:`begin_attempt` — an RTS is about to go out (binds ``local``).
+    * :meth:`on_success` — the exchange completed (ACK, or DATA sent when
+      the protocol has no ACK).
+    * :meth:`on_timeout` — RTS drew no CTS (and no ACK).
+    * :meth:`on_give_up` — retry budget exhausted, packet dropped.
+    * :meth:`on_frame_heard` — any clean frame arrived or was overheard.
+    * :meth:`contention_backoff` — the BO bound for a slot draw.
+    * :meth:`fields_for` — header values to stamp into outgoing frames.
+    """
+
+    def __init__(self, config: ProtocolConfig) -> None:
+        self.config = config
+        self.algorithm = make_backoff(config.backoff, config.bo_min, config.bo_max)
+        self.my_backoff: float = config.bo_min
+        self._remotes: Dict[str, RemoteEstimate] = {}
+
+    # -------------------------------------------------------------- helpers
+    def remote(self, name: str) -> RemoteEstimate:
+        """The estimate record for station ``name`` (created on demand)."""
+        entry = self._remotes.get(name)
+        if entry is None:
+            entry = RemoteEstimate(local=self.my_backoff)
+            self._remotes[name] = entry
+        return entry
+
+    def known_remotes(self) -> Dict[str, RemoteEstimate]:
+        return dict(self._remotes)
+
+    # ------------------------------------------------------------ selection
+    def contention_backoff(self, dst: Optional[str], retries: int = 0) -> float:
+        """Upper bound (in slots) for the uniform contention draw.
+
+        Per-destination mode sums the two ends' estimates (footnote 9 of
+        §3.4); an unknown remote contributes nothing.  Multicast and
+        RRTS-less draws pass ``dst=None`` and use the plain counter.
+
+        ``retries`` widens the bound transiently (``retries·ALPHA``) so a
+        failing exchange paces itself out *without* committing the failure
+        to either end's congestion estimate — §3.4: which end failed can
+        only be determined once the exchange finally succeeds, and the
+        receiver-side rules of B.2 make that adjustment.
+        """
+        if not self.config.per_destination or dst is None:
+            return self.my_backoff
+        entry = self.remote(dst)
+        combined = entry.local + (entry.remote if entry.remote is not None else 0.0)
+        combined += retries * self.config.alpha
+        return min(max(combined, self.config.bo_min), 2.0 * self.config.bo_max)
+
+    def fields_for(self, dst: Optional[str]) -> "tuple[float, Optional[float]]":
+        """(local_backoff, remote_backoff) header fields for a frame to dst.
+
+        A gave-up entry's MAX_BACKOFF pin paces *our* transmissions to the
+        unresponsive station; it is not evidence of congestion at our end,
+        so broadcast the ambient value instead of the pin.
+        """
+        if not self.config.per_destination or dst is None:
+            return self.my_backoff, None
+        entry = self.remote(dst)
+        local = self.my_backoff if entry.gave_up else entry.local
+        return local, entry.remote
+
+    # --------------------------------------------------------------- events
+    def begin_attempt(self, dst: Optional[str]) -> None:
+        """Bind the local value for a fresh exchange: "If packet = RTS:
+        local_backoff (used in communicating with Q) = my_backoff".
+
+        A destination we gave up on keeps its MAX_BACKOFF binding (B.2's
+        give-up rule) until something fresh is heard from it — otherwise the
+        penalty would evaporate at the very next packet.
+        """
+        if self.config.per_destination and dst is not None:
+            entry = self.remote(dst)
+            if not entry.gave_up:
+                entry.local = self.my_backoff
+
+    def on_success(self, dst: Optional[str]) -> None:
+        """The exchange to ``dst`` completed; congestion at both ends was
+        evidently survivable, so both estimates relax."""
+        self.my_backoff = self.algorithm.decrease(self.my_backoff)
+        if self.config.per_destination and dst is not None:
+            entry = self.remote(dst)
+            entry.gave_up = False
+            entry.local = self.my_backoff
+            if entry.remote is not None:
+                entry.remote = self.algorithm.decrease(entry.remote)
+
+    def on_timeout(self, dst: Optional[str], retry_count: int) -> None:
+        """An RTS to ``dst`` drew no reply.
+
+        Single-counter mode applies F_inc to the one counter — the sender's
+        only option when one number models everything.  Per-destination
+        mode commits **nothing**: the sender cannot yet tell whether the
+        RTS or the CTS was lost (§3.4), so the estimates stay and only the
+        transient ``retries·ALPHA`` term of :meth:`contention_backoff`
+        paces the retransmissions.  The definitive attribution happens in
+        :meth:`_copy_received` (the receiver sees a retransmitted RTS ⇒ its
+        CTS died ⇒ congestion at the sender's end) and on eventual success
+        (fresh header values are copied outright).
+        """
+        if not self.config.per_destination or dst is None:
+            self.my_backoff = self.algorithm.increase(self.my_backoff)
+
+    def on_give_up(self, dst: Optional[str]) -> None:
+        """Retry budget exhausted (B.2: local with Q = MAX_BACKOFF,
+        Q's backoff = I_DONT_KNOW)."""
+        if self.config.per_destination and dst is not None:
+            entry = self.remote(dst)
+            entry.local = self.config.bo_max
+            entry.remote = None
+            entry.gave_up = True
+        else:
+            self.my_backoff = self.algorithm.increase(self.my_backoff)
+
+    # -------------------------------------------------------------- copying
+    def on_frame_heard(self, frame: Frame, addressed_to_me: bool) -> None:
+        """Apply the copying rules to a cleanly heard frame.
+
+        Overheard (not addressed to us) frames: the simple §3.1 scheme
+        copies from *every* heard packet ("Whenever a station hears a
+        packet, it copies that value into its own backoff counter") — RTS
+        included, which is exactly what re-ignites BEB's contention wars
+        after each reset (Table 2).  The per-destination B.2 refinement
+        instead ignores RTS frames ("they may not carry the correct backoff
+        values"); any other frame from Q to R yields Q's congestion (its
+        ``local_backoff`` field), possibly R's (the ``remote_backoff``
+        field), and — Q being nearby — our own ambient estimate.
+
+        Frames addressed to us follow the B.2 receive block: a fresh
+        exchange (or completed handshake) carries authoritative values; a
+        retransmission means a collision happened at Q's end, so Q's
+        estimate grows and ours is recovered from the conserved sum.
+        """
+        if not self.config.copy_backoff or frame.local_backoff is None:
+            return
+        if not addressed_to_me:
+            if frame.kind is FrameType.RTS and self.config.per_destination:
+                return
+            self._copy_overheard(frame)
+        else:
+            self._copy_received(frame)
+
+    def _copy_overheard(self, frame: Frame) -> None:
+        self.my_backoff = self.algorithm.clamp(frame.local_backoff)
+        if self.config.per_destination:
+            src_entry = self.remote(frame.src)
+            src_entry.remote = self.algorithm.clamp(frame.local_backoff)
+            src_entry.gave_up = False  # the station is evidently alive
+            if frame.remote_backoff is not None and not frame.is_multicast:
+                self.remote(frame.dst).remote = self.algorithm.clamp(frame.remote_backoff)
+
+    def _copy_received(self, frame: Frame) -> None:
+        if not self.config.per_destination:
+            self.my_backoff = self.algorithm.clamp(frame.local_backoff)
+            return
+        entry = self.remote(frame.src)
+        entry.gave_up = False  # the station is evidently alive
+        is_retransmission = frame.retry and frame.esn is not None and frame.esn == entry.seen_esn
+        if (
+            frame.kind is FrameType.RTS
+            and frame.retry
+            and not is_retransmission
+        ):
+            # The first copy of this exchange we see is already a retry:
+            # the original RTS died HERE, i.e. there is congestion at the
+            # receiver — our — end (§3.4: "If the RTS is not received, we
+            # know that there must be congestion at the receiver").  Raise
+            # our own estimate; our subsequent headers broadcast it, and
+            # everyone sending toward us slows down accordingly.
+            self.my_backoff = self.algorithm.clamp(self.my_backoff + self.config.alpha)
+        if not is_retransmission:
+            # New exchange (or a handshake that finally succeeded): values
+            # carried in the packet are correct.  B.2 additionally says
+            # "my_backoff = remote_backoff" here (adopt the peer's estimate
+            # of us as our own ambient value); we deliberately do NOT — the
+            # peer's estimate includes per-stream retry penalties, and
+            # echoing those into my_backoff lets one troubled stream's
+            # history spread through the copying network as fake ambient
+            # congestion that never drains (see DESIGN.md).  The per-stream
+            # ``local`` still synchronizes with the peer's view.
+            entry.remote = self.algorithm.clamp(frame.local_backoff)
+            if frame.remote_backoff is not None:
+                entry.local = self.algorithm.clamp(frame.remote_backoff)
+            else:
+                entry.local = self.my_backoff
+            if frame.esn is not None:
+                entry.seen_esn = frame.esn
+            entry.recv_retries = 1
+        else:
+            # Retransmission: assume a collision at the sender's end; the
+            # sum of the two ends' values is conserved, so our share is the
+            # difference (Appendix B.2 receive block, else branch).  B.2
+            # scales the penalty by the cumulative retry count; we apply
+            # ALPHA once per observed retransmission — cumulative growth
+            # (+ALPHA·Σretries per troubled exchange) feeds back through
+            # the copying network and never drains (see DESIGN.md).
+            total = frame.local_backoff + (
+                frame.remote_backoff if frame.remote_backoff is not None else 0.0
+            )
+            entry.remote = self.algorithm.clamp(
+                frame.local_backoff + self.config.alpha
+            )
+            if frame.remote_backoff is not None:
+                entry.local = self.algorithm.clamp(total - entry.remote)
+            else:
+                entry.local = self.my_backoff
+            entry.recv_retries += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BackoffBook(my={self.my_backoff:.2f},"
+            f" remotes={{{', '.join(f'{k}: {v.remote}' for k, v in self._remotes.items())}}})"
+        )

@@ -1,0 +1,142 @@
+"""Protocol configuration.
+
+One dataclass captures every design axis the paper explores, so each
+table's two columns differ by exactly one flag:
+
+=====================  =========================================  =========
+Flag                   Paper section                              Table
+=====================  =========================================  =========
+``copy_backoff``       backoff copying                            Table 1
+``backoff``            BEB vs MILD                                Table 2
+``multi_queue``        multiple stream model                      Table 3
+``use_ack``            link-layer ACK                             Table 4
+``use_ds``             data-sending packet                        Table 5
+``use_rrts``           request-for-RTS                            Table 6
+``per_destination``    per-destination backoff (App. B.2)         Table 8
+=====================  =========================================  =========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Feature flags and constants for the configurable exchange MAC."""
+
+    #: Link-layer ACK after DATA (§3.3.1).
+    use_ack: bool = False
+    #: §4 extension: acknowledgement style when ``use_ack`` is on.
+    #: "immediate" — an ACK frame after every DATA (the paper's MACAW);
+    #: "piggyback" — while more packets are queued for the stream, skip the
+    #: ACK frame and read the acknowledgement off the *next* exchange's CTS
+    #: (the last packet of a burst still gets an immediate ACK).
+    ack_variant: str = "immediate"
+    #: §4 extension: when ``use_ack`` is off, have a receiver whose CTS drew
+    #: no DATA send a NACK so the sender retransmits at media timescales
+    #: without per-packet ACK overhead.
+    use_nack: bool = False
+    #: Data-sending announcement between CTS and DATA (§3.3.2).
+    use_ds: bool = False
+    #: Receiver-initiated contention (§3.3.3).
+    use_rrts: bool = False
+    #: Backoff adjustment: "beb" or "mild" (§3.1).
+    backoff: str = "beb"
+    #: Copy overheard backoff values (§3.1).
+    copy_backoff: bool = False
+    #: Separate congestion estimates per stream end (§3.4, App. B.2).
+    per_destination: bool = False
+    #: Per-stream queues with earliest-retry-slot selection (§3.2);
+    #: False = one FIFO per station.
+    multi_queue: bool = False
+    #: Appendix-B-literal overheard-RTS defer (full exchange) instead of the
+    #: §3.3.2 semantics (until the CTS slot passes).  See DESIGN.md.
+    rts_defer_full_exchange: bool = False
+    #: §3.3.2's alternative to the DS packet: sense the carrier before
+    #: transmitting an RTS and hold until "one slot time after it detects
+    #: no carrier" (essentially CSMA/CA).
+    carrier_sense: bool = False
+    #: When a defer interrupts a pending contention countdown, draw a fresh
+    #: delay at the defer's end (False — the literal Appendix-B WFContend
+    #: rule, and the default) or resume the interrupted countdown like
+    #: 802.11 DCF (True).  Resuming synchronizes backed-off stations to
+    #: contention periods so strongly that the paper's capture and
+    #: starvation dynamics (Tables 1, 6, 7) cannot form; the redraw rule
+    #: reproduces them.
+    defer_resume: bool = False
+    #: Fraction of a slot of uniform random phase added to every contention
+    #: delay.  Stations have no shared slot clock: two draws landing within
+    #: one slot of each other partially overlap and collide, which is what
+    #: makes low-backoff contention wars expensive (and BEB's reset-to-
+    #: minimum costly, §3.1).  Set to 0 for perfectly slot-synchronized
+    #: stations (an idealization).
+    contention_jitter: float = 1.0
+
+    #: Contention bounds, in slots (§3: BO_min = 2, BO_max = 64).
+    bo_min: float = 2.0
+    bo_max: float = 64.0
+    #: How long (in slots, from the end of the RTS) a sender waits before
+    #: declaring the exchange failed.  None uses the physical minimum from
+    #: MacTiming (CTS airtime + turnaround + margin ≈ 3 slots).  The
+    #: default of 8 reflects the conservative failure detection the paper's
+    #: contention throughput implies — with the 3-slot minimum, contention
+    #: wars resolve so cheaply that BEB's reset-to-minimum beats MILD,
+    #: inverting Table 2.  The failure-detection ablation sweeps this axis;
+    #: see EXPERIMENTS.md.
+    cts_timeout_slots: Optional[float] = 8.0
+    #: Additive penalty, in slots, per retry in the B.2 inference rules.
+    alpha: float = 2.0
+    #: Attempts per packet before the MAC gives up (App. B "we allow a
+    #: certain number of retries ... before discarding the packet").
+    max_retries: int = 8
+
+    def __post_init__(self) -> None:
+        if self.backoff not in ("beb", "mild"):
+            raise ValueError(f"unknown backoff algorithm {self.backoff!r}")
+        if self.ack_variant not in ("immediate", "piggyback"):
+            raise ValueError(f"unknown ack variant {self.ack_variant!r}")
+        if self.use_nack and self.use_ack:
+            raise ValueError("NACKs replace ACKs; enable one or the other")
+        if not 1 <= self.bo_min <= self.bo_max:
+            raise ValueError(
+                f"need 1 <= bo_min <= bo_max, got {self.bo_min!r}, {self.bo_max!r}"
+            )
+        if self.max_retries < 1:
+            raise ValueError(f"max_retries must be >= 1, got {self.max_retries!r}")
+        if self.alpha < 0:
+            raise ValueError(f"alpha must be >= 0, got {self.alpha!r}")
+        if not 0.0 <= self.contention_jitter <= 1.0:
+            raise ValueError(
+                f"contention_jitter must be in [0, 1], got {self.contention_jitter!r}"
+            )
+
+    def but(self, **changes: object) -> "ProtocolConfig":
+        """A copy with the given fields replaced (for ablations)."""
+        return replace(self, **changes)
+
+
+#: Appendix A's MACA: RTS-CTS-DATA, BEB, one queue, one counter, no copying.
+MACA_CONFIG = ProtocolConfig()
+
+#: The full MACAW protocol of Appendix B.
+MACAW_CONFIG = ProtocolConfig(
+    use_ack=True,
+    use_ds=True,
+    use_rrts=True,
+    backoff="mild",
+    copy_backoff=True,
+    per_destination=True,
+    multi_queue=True,
+)
+
+
+def macaw_config(**changes: object) -> ProtocolConfig:
+    """The full MACAW configuration, optionally with overrides."""
+    return MACAW_CONFIG.but(**changes) if changes else MACAW_CONFIG
+
+
+def maca_config(**changes: object) -> ProtocolConfig:
+    """The Appendix A MACA configuration, optionally with overrides."""
+    return MACA_CONFIG.but(**changes) if changes else MACA_CONFIG

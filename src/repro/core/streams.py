@@ -1,0 +1,159 @@
+"""The multiple stream model (§3.2).
+
+A station's original design held one FIFO of packets and one backoff
+counter, which allocates bandwidth *per station*: a base station sending to
+two pads gets the same share as a pad sending one stream.  The paper's fix
+runs "the backoff algorithm independently for each stream, [with] separate
+queues for each stream", transmission going to the stream whose retry slot
+comes up first.
+
+:class:`StreamQueue` supports both disciplines behind one interface:
+
+* ``multi=False`` — one FIFO; the only transmission candidate is the
+  head-of-line packet (whatever its destination).
+* ``multi=True`` — one FIFO per destination; every stream's head packet is
+  a candidate and the MAC draws a contention delay per candidate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+_packet_counter = itertools.count(1)
+
+
+@dataclass
+class QueuedPacket:
+    """A network-layer packet waiting for the media, plus MAC bookkeeping."""
+
+    payload: Any
+    dst: str
+    size_bytes: int
+    enqueued_at: float
+    #: Exchange sequence number, assigned by the MAC when first attempted.
+    esn: Optional[int] = None
+    #: Number of failed attempts so far.
+    retries: int = 0
+    uid: int = field(default_factory=lambda: next(_packet_counter))
+
+    @property
+    def attempted(self) -> bool:
+        return self.esn is not None
+
+
+class StreamQueue:
+    """Packet queue(s) for one station.
+
+    The class never drops silently: callers pop or drop heads explicitly.
+    A ``capacity`` bounds each stream's queue (None = unbounded) because
+    saturated UDP sources would otherwise grow memory without bound; pushes
+    beyond capacity are rejected and counted.
+    """
+
+    def __init__(self, multi: bool, capacity: Optional[int] = 64) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity!r}")
+        self.multi = multi
+        self.capacity = capacity
+        # Insertion-ordered so single-FIFO mode and candidate iteration are
+        # deterministic.
+        self._queues: "OrderedDict[str, Deque[QueuedPacket]]" = OrderedDict()
+        #: Pushes rejected because the stream queue was full.
+        self.rejected = 0
+        #: Total packets ever accepted.
+        self.accepted = 0
+
+    # ---------------------------------------------------------------- write
+    def push(self, payload: Any, dst: str, size_bytes: int, now: float) -> Optional[QueuedPacket]:
+        """Append a packet for ``dst``; returns None when the queue is full."""
+        key = dst if self.multi else "_fifo"
+        queue = self._queues.get(key)
+        if queue is None:
+            queue = deque()
+            self._queues[key] = queue
+        if self.capacity is not None and len(queue) >= self.capacity:
+            self.rejected += 1
+            return None
+        entry = QueuedPacket(payload=payload, dst=dst, size_bytes=size_bytes, enqueued_at=now)
+        queue.append(entry)
+        self.accepted += 1
+        return entry
+
+    def push_front(self, entry: QueuedPacket) -> None:
+        """Reinsert a previously-popped packet at the head of its stream.
+
+        Used by the §4 piggyback-ACK extension when a later CTS reveals
+        that an optimistically-completed DATA transmission was lost.
+        Front insertion ignores ``capacity`` — the packet already held a
+        slot when first accepted.
+        """
+        key = entry.dst if self.multi else "_fifo"
+        queue = self._queues.get(key)
+        if queue is None:
+            queue = deque()
+            self._queues[key] = queue
+        queue.appendleft(entry)
+
+    def pop(self, entry: QueuedPacket) -> None:
+        """Remove ``entry`` from its queue.
+
+        Usually the entry is the head of line; it may sit deeper when a §4
+        resurrection (piggyback mismatch, NACK) was reinserted in front of
+        it mid-exchange.  Removing by identity keeps the invariant that
+        every accepted packet leaves the queue exactly once.
+        """
+        queue = self._queue_of(entry)
+        if not queue:
+            raise ValueError(f"packet {entry.uid} is not queued")
+        try:
+            queue.remove(entry)
+        except ValueError:
+            raise ValueError(f"packet {entry.uid} is not queued") from None
+        if not queue:
+            key = entry.dst if self.multi else "_fifo"
+            del self._queues[key]
+
+    def _queue_of(self, entry: QueuedPacket) -> Optional[Deque[QueuedPacket]]:
+        key = entry.dst if self.multi else "_fifo"
+        return self._queues.get(key)
+
+    # ----------------------------------------------------------------- read
+    def candidates(self) -> List[QueuedPacket]:
+        """Head-of-line packets eligible for the next contention round.
+
+        Single-FIFO mode exposes one candidate; multi-stream mode exposes
+        one per destination, in stream creation order.
+        """
+        return [queue[0] for queue in self._queues.values() if queue]
+
+    def head_for(self, dst: str) -> Optional[QueuedPacket]:
+        """Head-of-line packet bound for ``dst``, if any is eligible.
+
+        In single-FIFO mode this is the head only when the head targets
+        ``dst`` — a later packet for ``dst`` cannot jump the line.
+        """
+        for queue in self._queues.values():
+            if queue and queue[0].dst == dst:
+                return queue[0]
+        return None
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def is_empty(self) -> bool:
+        return not self._queues
+
+    def depth_by_stream(self) -> Dict[str, int]:
+        """Queue depth per destination (diagnostics)."""
+        depths: Dict[str, int] = {}
+        for queue in self._queues.values():
+            for entry in queue:
+                depths[entry.dst] = depths.get(entry.dst, 0) + 1
+        return depths
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "multi" if self.multi else "fifo"
+        return f"StreamQueue({mode}, len={len(self)}, streams={list(self._queues)})"

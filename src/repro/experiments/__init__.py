@@ -1,0 +1,26 @@
+"""Experiment drivers: one module per reproduced table (and extra figures).
+
+Each driver builds the figure's topology, runs the protocol variants the
+paper compares, and returns an :class:`~repro.experiments.base.ExperimentResult`
+holding a :class:`~repro.analysis.tables.ComparisonTable` (measured values
+side by side with the paper's) plus the qualitative checks that define a
+successful reproduction (who wins, by roughly what factor).
+
+Use :func:`~repro.experiments.registry.get_experiment` /
+:func:`~repro.experiments.registry.all_experiments`, or the CLI::
+
+    python -m repro table1
+    python -m repro all --duration 200
+"""
+
+from repro.experiments.base import Experiment, ExperimentResult, ExperimentSpec
+from repro.experiments.registry import all_experiments, get_experiment, experiment_ids
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "all_experiments",
+    "get_experiment",
+    "experiment_ids",
+]

@@ -1,0 +1,137 @@
+"""Common experiment machinery."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.tables import ComparisonTable
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Identity of one reproduced experiment."""
+
+    exp_id: str          # e.g. "table5"
+    title: str           # e.g. "Table 5: the DS packet (Figure 5)"
+    figure: str          # paper figure providing the topology, "" if none
+    description: str     # one paragraph: workload, variants, expectation
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a bench or test needs from one experiment run."""
+
+    spec: ExperimentSpec
+    table: ComparisonTable
+    #: Qualitative reproduction checks: name → passed.
+    checks: Dict[str, bool] = field(default_factory=dict)
+    seed: int = 0
+    duration: float = 0.0
+    warmup: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        """True when every qualitative check holds."""
+        return all(self.checks.values())
+
+    def render(self) -> str:
+        lines = [self.table.render()]
+        if self.checks:
+            lines.append("")
+            for name, ok in self.checks.items():
+                lines.append(f"  [{'PASS' if ok else 'FAIL'}] {name}")
+        return "\n".join(lines)
+
+
+class Experiment(ABC):
+    """One reproduced table: build, run variants, check the shape.
+
+    Subclasses set :attr:`spec`, :attr:`default_duration` and
+    :attr:`default_warmup` (the paper runs 500–2000 s with a 50 s warm-up;
+    drivers default to a duration that keeps the qualitative result stable
+    while staying laptop-friendly) and implement :meth:`_run` and
+    :meth:`_check`.
+    """
+
+    spec: ExperimentSpec
+    default_duration: float = 500.0
+    default_warmup: float = 50.0
+
+    def run(
+        self,
+        seed: int = 0,
+        duration: Optional[float] = None,
+        warmup: Optional[float] = None,
+    ) -> ExperimentResult:
+        """Run all variants and evaluate the qualitative checks."""
+        duration = duration if duration is not None else self.default_duration
+        warmup = warmup if warmup is not None else self.default_warmup
+        if warmup >= duration:
+            raise ValueError(f"warmup {warmup} must precede duration {duration}")
+        table = self._run(seed=seed, duration=duration, warmup=warmup)
+        checks = self._check(table)
+        return ExperimentResult(
+            spec=self.spec, table=table, checks=checks,
+            seed=seed, duration=duration, warmup=warmup,
+        )
+
+    @abstractmethod
+    def _run(self, seed: int, duration: float, warmup: float) -> ComparisonTable:
+        """Build the scenario(s), run them, and fill the comparison table."""
+
+    @abstractmethod
+    def _check(self, table: ComparisonTable) -> Dict[str, bool]:
+        """Qualitative reproduction checks on the measured values."""
+
+    def run_seeds(
+        self,
+        seeds: Sequence[int],
+        duration: Optional[float] = None,
+        warmup: Optional[float] = None,
+    ) -> "SeedSweepResult":
+        """Run the experiment once per seed and aggregate.
+
+        Single runs inherit the paper's methodology (the paper reports one
+        run per table); a sweep shows which outcomes are stable and which —
+        like who wins a capture battle — are seed lotteries.
+        """
+        if not seeds:
+            raise ValueError("need at least one seed")
+        results = [self.run(seed=s, duration=duration, warmup=warmup) for s in seeds]
+        return SeedSweepResult(spec=self.spec, results=results)
+
+
+@dataclass
+class SeedSweepResult:
+    """Aggregate of one experiment across seeds."""
+
+    spec: ExperimentSpec
+    results: List[ExperimentResult]
+
+    def mean_table(self) -> ComparisonTable:
+        """Per-cell mean across seeds (paper reference values preserved)."""
+        first = self.results[0].table
+        table = ComparisonTable(f"{first.title} — mean of {len(self.results)} seeds")
+        for variant in first.variants():
+            for stream in first.stream_order:
+                values = [r.table.value(variant, stream) for r in self.results]
+                table.add(variant, stream, sum(values) / len(values),
+                          first.paper.get(variant, {}).get(stream))
+        return table
+
+    def check_pass_rates(self) -> Dict[str, float]:
+        """Fraction of seeds passing each qualitative check."""
+        rates: Dict[str, float] = {}
+        for name in self.results[0].checks:
+            passed = sum(1 for r in self.results if r.checks.get(name))
+            rates[name] = passed / len(self.results)
+        return rates
+
+    def render(self) -> str:
+        lines = [self.mean_table().render()]
+        lines.append("")
+        for name, rate in self.check_pass_rates().items():
+            lines.append(f"  [{rate:4.0%}] {name}")
+        return "\n".join(lines)

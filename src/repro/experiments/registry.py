@@ -1,0 +1,73 @@
+"""Experiment registry: every reproduced table, figure and ablation."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.experiments.base import Experiment
+from repro.experiments.table01 import Table1
+from repro.experiments.table02 import Table2
+from repro.experiments.table03 import Table3
+from repro.experiments.table04 import Table4
+from repro.experiments.table05 import Table5
+from repro.experiments.table06 import Table6
+from repro.experiments.table07 import Table7
+from repro.experiments.table08 import Table8
+from repro.experiments.table09 import Table9
+from repro.experiments.table10 import Table10
+from repro.experiments.table11 import Table11
+from repro.experiments.fig01 import Fig1HiddenExposed
+from repro.experiments.fig08 import Fig8Leakage
+from repro.experiments.ablations import (
+    AckVariantsAblation,
+    CarrierSenseAblation,
+    CopyingAblation,
+    FailureDetectionAblation,
+    MildFactorAblation,
+    MulticastAblation,
+    PollingAblation,
+    RtsDeferAblation,
+)
+
+_FACTORIES: Dict[str, Callable[[], Experiment]] = {
+    "table1": Table1,
+    "table2": Table2,
+    "table3": Table3,
+    "table4": Table4,
+    "table5": Table5,
+    "table6": Table6,
+    "table7": Table7,
+    "table8": Table8,
+    "table9": Table9,
+    "table10": Table10,
+    "table11": Table11,
+    "fig1": Fig1HiddenExposed,
+    "fig8": Fig8Leakage,
+    "ablation-mild-factor": MildFactorAblation,
+    "ablation-rts-defer": RtsDeferAblation,
+    "ablation-copying": CopyingAblation,
+    "ablation-multicast": MulticastAblation,
+    "ablation-failure-detection": FailureDetectionAblation,
+    "ablation-ack-variants": AckVariantsAblation,
+    "ablation-carrier-sense": CarrierSenseAblation,
+    "ablation-polling": PollingAblation,
+}
+
+
+def experiment_ids() -> List[str]:
+    """All registered experiment ids, paper order first."""
+    return list(_FACTORIES)
+
+
+def get_experiment(exp_id: str) -> Experiment:
+    """Instantiate the experiment with the given id."""
+    factory = _FACTORIES.get(exp_id)
+    if factory is None:
+        known = ", ".join(_FACTORIES)
+        raise KeyError(f"unknown experiment {exp_id!r}; known: {known}")
+    return factory()
+
+
+def all_experiments() -> List[Experiment]:
+    """Instantiate every registered experiment, paper order."""
+    return [factory() for factory in _FACTORIES.values()]

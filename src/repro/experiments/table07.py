@@ -1,0 +1,58 @@
+"""Table 7 — the configuration MACAW cannot solve (Figure 7).
+
+B1 sends to P1 while P2 saturates its own uplink to B2; P1 hears P2, B1
+hears nothing of the second cell.  The paper reports that B1→P1 is
+completely denied access: B1's RTSs are corrupted at P1 by P2's data
+transmissions, P1 never receives them cleanly, so even RRTS cannot help —
+"none of the stations in the congested area are aware that B1 is
+attempting to transmit" (§4).
+
+This reproduces cleanly: B1's RTSs can only reach P1 inside the short
+quiet windows of P2's saturated uplink, and the RRTS machinery never
+triggers because P1 rarely hears those RTSs cleanly.  The B1→P1 stream is
+squeezed to a few packets per second while P2→B2 takes nearly the whole
+channel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.tables import ComparisonTable
+from repro.core.config import macaw_config
+from repro.experiments.base import Experiment, ExperimentSpec
+from repro.topo.figures import fig7_unsolved
+
+STREAMS = ["B1-P1", "P2-B2"]
+
+#: The OCR of the paper's Table 7 lost the numbers; §3.3.3's text gives the
+#: qualitative content: B1-P1 ≈ 0, P2-B2 ≈ full channel (≈ Table 6's 42.87).
+PAPER = {"MACAW": {"B1-P1": 0.0, "P2-B2": 42.87}}
+
+
+class Table7(Experiment):
+    spec = ExperimentSpec(
+        exp_id="table7",
+        title="Table 7: the unsolved configuration (Figure 7)",
+        figure="fig7",
+        description=(
+            "B1→P1 against P2→B2 where P1 hears P2's data. The paper's open "
+            "problem: no synchronization information can reach B1."
+        ),
+    )
+    default_duration = 400.0
+
+    def _run(self, seed: int, duration: float, warmup: float) -> ComparisonTable:
+        table = ComparisonTable(self.spec.title)
+        scenario = fig7_unsolved(config=macaw_config(), seed=seed).build().run(duration)
+        for stream, pps in scenario.throughputs(warmup=warmup).items():
+            table.add("MACAW", stream, pps, PAPER["MACAW"].get(stream))
+        return table
+
+    def _check(self, table: ComparisonTable) -> Dict[str, bool]:
+        starved = table.value("MACAW", "B1-P1")
+        winner = table.value("MACAW", "P2-B2")
+        return {
+            "B1-P1 is starved (< 15% of P2-B2)": starved < 0.15 * winner,
+            "P2-B2 gets near-complete utilization (> 35 pps)": winner > 35.0,
+        }

@@ -1,0 +1,41 @@
+"""MAC layer: frame formats, timing, shared machinery, and baselines.
+
+The package hosts everything common to the media-access protocols plus the
+CSMA baseline:
+
+* :mod:`repro.mac.frames` — RTS/CTS/DS/DATA/ACK/RRTS frames with the
+  backoff-copying header fields of Appendix B.2.
+* :mod:`repro.mac.timing` — slot and timeout arithmetic (30-byte control
+  packets at 256 kbps define the 937.5 µs slot).
+* :mod:`repro.mac.base` — deferral, contention and queue bookkeeping shared
+  by the state machines.
+* :mod:`repro.mac.csma` — carrier-sense baseline (§2.2).
+* :mod:`repro.mac.maca` — Karn's MACA as specified in Appendix A.
+
+MACA is configured on top of the machine in :mod:`repro.core.macaw`, so
+``repro.mac.maca`` is intentionally *not* imported here (it would make the
+``mac`` package depend on ``core`` at import time); import it directly or
+use the re-export at the ``repro`` top level.
+"""
+
+from repro.mac.frames import Frame, FrameType, MULTICAST, I_DONT_KNOW
+from repro.mac.timing import MacTiming
+from repro.mac.base import BaseMac, MacState, MacStats
+from repro.mac.csma import CsmaMac, CsmaConfig
+from repro.mac.polling import PollingBaseMac, PollingConfig, PollingPadMac
+
+__all__ = [
+    "Frame",
+    "FrameType",
+    "MULTICAST",
+    "I_DONT_KNOW",
+    "MacTiming",
+    "BaseMac",
+    "MacState",
+    "MacStats",
+    "CsmaMac",
+    "CsmaConfig",
+    "PollingBaseMac",
+    "PollingPadMac",
+    "PollingConfig",
+]

@@ -1,0 +1,232 @@
+"""CSMA — the carrier-sense baseline the paper argues against (§2.2).
+
+"In CSMA, every station senses the carrier before transmitting; if the
+station detects carrier then the station defers transmission."  The paper's
+point is that carrier sense tests the signal at the *sender* while
+collisions happen at the *receiver*, producing the hidden-terminal and
+exposed-terminal pathologies of Figure 1.  This implementation exists to
+demonstrate exactly those pathologies against MACA/MACAW.
+
+Two classic variants are provided:
+
+* **non-persistent** (default): on sensing carrier, back off a random number
+  of slots and sense again;
+* **1-persistent**: on sensing carrier, wait for the channel to go idle and
+  transmit immediately (maximally collision-prone).
+
+An optional link-layer ACK (on by default, as in contemporary packet-radio
+stacks) gives the sender the loss feedback that drives its binary
+exponential backoff; without it CSMA is fire-and-forget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.streams import QueuedPacket, StreamQueue
+from repro.mac.base import BaseMac
+from repro.mac.frames import Frame, FrameType, control_frame, data_frame
+from repro.mac.timing import MacTiming
+from repro.phy.medium import Medium, Transmission
+from repro.sim.kernel import Simulator
+from repro.sim.timers import Timer
+
+
+@dataclass(frozen=True)
+class CsmaConfig:
+    """Knobs for the CSMA baseline."""
+
+    #: "nonpersistent" or "1persistent".
+    persistence: str = "nonpersistent"
+    #: Send (and expect) link ACKs; drives retransmission and backoff.
+    use_ack: bool = True
+    bo_min: float = 2.0
+    bo_max: float = 64.0
+    max_retries: int = 8
+
+    def __post_init__(self) -> None:
+        if self.persistence not in ("nonpersistent", "1persistent"):
+            raise ValueError(f"unknown persistence {self.persistence!r}")
+        if not 1 <= self.bo_min <= self.bo_max:
+            raise ValueError("need 1 <= bo_min <= bo_max")
+
+
+class CsmaMac(BaseMac):
+    """A station running CSMA with BEB and optional link ACKs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: Medium,
+        name: str,
+        position: Tuple[float, float, float] = (0.0, 0.0, 0.0),
+        config: CsmaConfig = CsmaConfig(),
+        timing: Optional[MacTiming] = None,
+        queue_capacity: Optional[int] = 64,
+    ) -> None:
+        super().__init__(sim, medium, name, position, timing)
+        self.config = config
+        self.queue = StreamQueue(multi=False, capacity=queue_capacity)
+        self.bo = config.bo_min
+        self._retry_timer = Timer(sim, self._attempt, name=f"{name}:csma-retry")
+        self._ack_timer = Timer(sim, self._on_ack_timeout, name=f"{name}:csma-ack")
+        #: Packet currently being sent / awaiting ACK.
+        self._current: Optional[QueuedPacket] = None
+        #: Waiting for the carrier to free (1-persistent only).
+        self._waiting_for_idle = False
+        #: Sequence numbers for duplicate suppression at receivers.
+        self._next_seq: Dict[str, int] = {}
+        self._seen_seq: Dict[str, int] = {}
+
+    # ---------------------------------------------------------- upper layer
+    def enqueue(self, payload: Any, dst: str, size_bytes: int) -> bool:
+        if not self.powered:
+            self.stats.enqueue_rejected += 1
+            return False
+        entry = self.queue.push(payload, dst, size_bytes, self.sim.now)
+        if entry is None:
+            self.stats.enqueue_rejected += 1
+            return False
+        if self._idle():
+            self._attempt()
+        return True
+
+    def queue_len(self) -> int:
+        return len(self.queue)
+
+    def _idle(self) -> bool:
+        return (
+            self._current is None
+            and not self._retry_timer.running
+            and not self._waiting_for_idle
+        )
+
+    def _on_power_change(self, powered: bool) -> None:
+        self._retry_timer.stop()
+        self._ack_timer.stop()
+        self._current = None
+        self._waiting_for_idle = False
+        if powered and not self.queue.is_empty():
+            self._attempt()
+
+    # -------------------------------------------------------------- attempts
+    def _attempt(self) -> None:
+        """Sense the carrier and transmit, defer, or reschedule."""
+        candidates = self.queue.candidates()
+        if not candidates:
+            return
+        entry = candidates[0]
+        if self.medium.is_transmitting(self):
+            self._backoff_retry()
+            return
+        if self.medium.carrier_sensed(self):
+            if self.config.persistence == "1persistent":
+                self._waiting_for_idle = True
+            else:
+                self._backoff_retry()
+            return
+        self._transmit(entry)
+
+    def _transmit(self, entry: QueuedPacket) -> None:
+        if entry.esn is None:
+            entry.esn = self._next_seq.get(entry.dst, 0)
+            self._next_seq[entry.dst] = entry.esn + 1
+        frame = data_frame(
+            self.name, entry.dst, entry.size_bytes, payload=entry.payload, esn=entry.esn
+        )
+        if self.send_frame(frame) is None:
+            self._backoff_retry()
+            return
+        self._current = entry
+
+    def _backoff_retry(self) -> None:
+        slots = self.sim.streams.uniform_slots(
+            f"mac:{self.name}", 1, max(1, int(round(self.bo)))
+        )
+        self._retry_timer.start(slots * self.timing.slot)
+
+    def on_carrier(self, busy: bool) -> None:
+        if not busy and self._waiting_for_idle:
+            self._waiting_for_idle = False
+            self._attempt()
+
+    # ------------------------------------------------------------ completion
+    def on_transmit_complete(self, transmission: Transmission) -> None:
+        frame = transmission.frame
+        if frame.kind is FrameType.ACK:
+            if self._idle() and not self.queue.is_empty():
+                self._attempt()
+            return
+        entry = self._current
+        if entry is None:
+            return
+        if self.config.use_ack:
+            self._ack_timer.start(self.timing.ack_timeout())
+        else:
+            # Fire-and-forget: the MAC's job ends with the transmission.
+            self._finish(entry, delivered=True)
+
+    def _finish(self, entry: QueuedPacket, delivered: bool) -> None:
+        self._current = None
+        self._ack_timer.stop()
+        self.queue.pop(entry)
+        if delivered:
+            self.bo = self.config.bo_min  # BEB success: reset to floor
+            self.notify_sent(entry.payload, entry.dst)
+        else:
+            self.notify_drop(entry.payload, entry.dst)
+        if not self.queue.is_empty():
+            self._backoff_retry()
+
+    def _on_ack_timeout(self) -> None:
+        entry = self._current
+        if entry is None:
+            return
+        self.stats.ack_timeouts += 1
+        self._current = None
+        entry.retries += 1
+        self.bo = min(2.0 * self.bo, self.config.bo_max)  # BEB failure
+        if entry.retries >= self.config.max_retries:
+            self._finish_drop(entry)
+        else:
+            self._backoff_retry()
+
+    def _finish_drop(self, entry: QueuedPacket) -> None:
+        self.queue.pop(entry)
+        self.notify_drop(entry.payload, entry.dst)
+        if not self.queue.is_empty():
+            self._backoff_retry()
+
+    # -------------------------------------------------------------- receive
+    def on_frame(self, frame: Frame, clean: bool) -> None:
+        if not clean:
+            self.stats.corrupted += 1
+            return
+        self.stats.count_received(frame.kind)
+        if frame.dst != self.name:
+            return
+        if frame.kind is FrameType.DATA:
+            duplicate = (
+                frame.esn is not None and self._seen_seq.get(frame.src) == frame.esn
+            )
+            if duplicate:
+                self.stats.duplicates += 1
+            else:
+                if frame.esn is not None:
+                    self._seen_seq[frame.src] = frame.esn
+                self.deliver_up(frame.payload, frame.src)
+            if self.config.use_ack and not self.medium.is_transmitting(self):
+                ack = control_frame(FrameType.ACK, self.name, frame.src, esn=frame.esn)
+                self.send_frame(ack)
+        elif frame.kind is FrameType.ACK:
+            entry = self._current
+            if (
+                entry is not None
+                and frame.src == entry.dst
+                and (frame.esn is None or frame.esn == entry.esn)
+            ):
+                self._finish(entry, delivered=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CsmaMac({self.name!r}, queue={len(self.queue)}, bo={self.bo:.1f})"

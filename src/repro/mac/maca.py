@@ -1,0 +1,60 @@
+"""MACA — Karn's Multiple Access, Collision Avoidance protocol (Appendix A).
+
+MACA is the starting point of the paper's investigation: an RTS-CTS-DATA
+exchange with binary exponential backoff, one FIFO queue and one backoff
+counter per station, and no copying, DS, RRTS or link ACK.
+
+Appendix A's five-state machine (IDLE, CONTEND, WFCTS, WFData, QUIET) is a
+strict subset of Appendix B's ten-state MACAW machine, so MACA is realized
+here as the configurable exchange MAC of :mod:`repro.core.macaw` with every
+MACAW feature disabled — which also guarantees that each paper comparison
+(MACA column vs MACAW column) differs only in the flags the paper names.
+
+Defer rules realized (Appendix A):
+
+1. overheard RTS → QUIET long enough for the sender to hear the CTS;
+2. overheard CTS → QUIET long enough for the data transmission.
+
+Timeout and control rules map one-to-one onto the shared machine; see
+:class:`repro.core.macaw.MacawMac`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.config import MACA_CONFIG, ProtocolConfig, maca_config
+from repro.core.macaw import MacawMac
+from repro.mac.timing import MacTiming
+from repro.phy.medium import Medium
+from repro.sim.kernel import Simulator
+
+__all__ = ["MacaMac", "maca_config"]
+
+
+class MacaMac(MacawMac):
+    """A station running plain MACA (RTS-CTS-DATA, BEB, single queue)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: Medium,
+        name: str,
+        position: Tuple[float, float, float] = (0.0, 0.0, 0.0),
+        config: ProtocolConfig = MACA_CONFIG,
+        timing: Optional[MacTiming] = None,
+        queue_capacity: Optional[int] = 64,
+    ) -> None:
+        if config.use_ds or config.use_rrts:
+            raise ValueError(
+                "MACA has no DS or RRTS; use MacawMac for extended configurations"
+            )
+        super().__init__(
+            sim,
+            medium,
+            name,
+            position=position,
+            config=config,
+            timing=timing,
+            queue_capacity=queue_capacity,
+        )

@@ -1,0 +1,247 @@
+"""A polling MAC — the §4 road not taken.
+
+§4: "Various token-based schemes, or those involving polling or
+reservations, are possibilities we hope to explore in future work."  This
+module explores the simplest of them: the base station owns the cell and
+polls its pads round-robin.  There is no contention at all —
+
+* **uplink**: the base sends a 30-byte POLL (an RTS frame addressed to the
+  pad with ``data_bytes = 0``); the pad answers with one DATA frame, or
+  with a 30-byte NACK meaning "queue empty";
+* **downlink**: the base transmits directly in its own schedule slot.
+
+Within a single isolated cell this is maximally efficient and perfectly
+fair.  Its weaknesses are exactly the reasons §2.1 gives for choosing
+multiple access: the base is a single point of coordination, every pad
+must be registered (mobility means constant re-registration), empty polls
+burn airtime at low load, and neighbouring cells' polls collide with each
+other across borders with no collision-avoidance machinery at all.  The
+``ablation-polling`` experiment measures both sides.
+
+Implementation notes: pads answer a poll even mid-arrival of other signals
+(polling assumes a clean cell); lost polls or answers are simply skipped —
+the next cycle retries.  The base's poll cycle is driven by timers, with a
+configurable inter-poll gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.streams import QueuedPacket, StreamQueue
+from repro.mac.base import BaseMac
+from repro.mac.frames import Frame, FrameType, control_frame, data_frame
+from repro.mac.timing import MacTiming
+from repro.phy.medium import Medium, Transmission
+from repro.sim.kernel import Simulator
+from repro.sim.timers import Timer
+
+
+@dataclass(frozen=True)
+class PollingConfig:
+    """Knobs for the polling MAC."""
+
+    #: Gap between schedule steps, in slots (guard time for turnaround).
+    inter_poll_slots: float = 0.25
+    #: How long the base waits for a poll answer, in slots, beyond the
+    #: answer's airtime.
+    answer_margin_slots: float = 1.0
+    #: Largest uplink frame a poll grants (pads truncate to their head
+    #: packet's size, so this only caps the wait).
+    max_data_bytes: int = 512
+
+    def __post_init__(self) -> None:
+        if self.inter_poll_slots < 0 or self.answer_margin_slots <= 0:
+            raise ValueError("poll gaps must be non-negative, margin positive")
+        if self.max_data_bytes <= 0:
+            raise ValueError("max_data_bytes must be positive")
+
+
+class PollingBaseMac(BaseMac):
+    """The cell coordinator: polls registered pads and sends downlink.
+
+    The schedule alternates uplink polls (one per registered pad, round
+    robin) with downlink transmissions (one queued frame per cycle step).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: Medium,
+        name: str,
+        position: Tuple[float, float, float] = (0.0, 0.0, 0.0),
+        config: PollingConfig = PollingConfig(),
+        timing: Optional[MacTiming] = None,
+        queue_capacity: Optional[int] = 64,
+    ) -> None:
+        super().__init__(sim, medium, name, position, timing)
+        self.config = config
+        self.queue = StreamQueue(multi=True, capacity=queue_capacity)
+        self._pads: List[str] = []
+        self._next_pad = 0
+        self._downlink_turn = False
+        self._awaiting: Optional[str] = None  # pad whose answer we await
+        self._timer = Timer(sim, self._step, name=f"{name}:poll")
+        #: Polls that drew no answer (pad empty, off, or collision).
+        self.idle_polls = 0
+        self.polls_sent = 0
+        self._started = False
+
+    # ------------------------------------------------------------- control
+    def register_pad(self, pad_name: str) -> None:
+        """Add a pad to the poll schedule (idempotent)."""
+        if pad_name not in self._pads:
+            self._pads.append(pad_name)
+        if not self._started:
+            self._started = True
+            self._timer.start(self.timing.slot)
+
+    def unregister_pad(self, pad_name: str) -> None:
+        if pad_name in self._pads:
+            index = self._pads.index(pad_name)
+            self._pads.remove(pad_name)
+            if self._next_pad > index:
+                self._next_pad -= 1
+            if self._pads:
+                self._next_pad %= len(self._pads)
+
+    def enqueue(self, payload: Any, dst: str, size_bytes: int) -> bool:
+        if not self.powered:
+            self.stats.enqueue_rejected += 1
+            return False
+        entry = self.queue.push(payload, dst, size_bytes, self.sim.now)
+        if entry is None:
+            self.stats.enqueue_rejected += 1
+            return False
+        return True
+
+    def queue_len(self) -> int:
+        return len(self.queue)
+
+    def _on_power_change(self, powered: bool) -> None:
+        self._timer.stop()
+        self._awaiting = None
+        if powered and self._started:
+            self._timer.start(self.timing.slot)
+
+    # ------------------------------------------------------------ schedule
+    def _step(self) -> None:
+        """One schedule step: downlink frame or uplink poll."""
+        if not self.powered:
+            return
+        gap = self.config.inter_poll_slots * self.timing.slot
+        if self._downlink_turn and not self.queue.is_empty():
+            entry = self.queue.candidates()[0]
+            frame = data_frame(self.name, entry.dst, entry.size_bytes,
+                               payload=entry.payload)
+            self._downlink_turn = False
+            if self.send_frame(frame) is not None:
+                self._pending_downlink = entry
+                return  # next step scheduled at transmit-complete
+            self._timer.start(gap)
+            return
+        self._downlink_turn = True
+        if not self._pads:
+            self._timer.start(self.timing.slot + gap)
+            return
+        pad = self._pads[self._next_pad]
+        self._next_pad = (self._next_pad + 1) % len(self._pads)
+        poll = control_frame(FrameType.RTS, self.name, pad,
+                             data_bytes=self.config.max_data_bytes)
+        self.polls_sent += 1
+        if self.send_frame(poll) is not None:
+            self._awaiting = pad
+            # Timer armed at transmit-complete (covers the answer window).
+        else:
+            self._timer.start(gap)
+
+    def on_transmit_complete(self, transmission: Transmission) -> None:
+        gap = self.config.inter_poll_slots * self.timing.slot
+        frame = transmission.frame
+        if frame.kind is FrameType.RTS:
+            window = (
+                self.timing.turnaround_s
+                + self.timing.airtime(self.config.max_data_bytes)
+                + self.config.answer_margin_slots * self.timing.slot
+            )
+            self._timer.start(window)
+        elif frame.kind is FrameType.DATA:
+            entry = getattr(self, "_pending_downlink", None)
+            if entry is not None:
+                self.queue.pop(entry)
+                self.notify_sent(entry.payload, entry.dst)
+                self._pending_downlink = None
+            self._timer.start(gap)
+
+    # ------------------------------------------------------------- receive
+    def on_frame(self, frame: Frame, clean: bool) -> None:
+        if not clean:
+            self.stats.corrupted += 1
+            return
+        self.stats.count_received(frame.kind)
+        if frame.dst != self.name:
+            return
+        if self._awaiting is not None and frame.src == self._awaiting:
+            self._awaiting = None
+            if frame.kind is FrameType.DATA:
+                self.deliver_up(frame.payload, frame.src)
+            else:  # NACK: "nothing to send"
+                self.idle_polls += 1
+            self._timer.start(self.config.inter_poll_slots * self.timing.slot)
+
+
+class PollingPadMac(BaseMac):
+    """A pad in a polled cell: transmits only when polled."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: Medium,
+        name: str,
+        position: Tuple[float, float, float] = (0.0, 0.0, 0.0),
+        config: PollingConfig = PollingConfig(),
+        timing: Optional[MacTiming] = None,
+        queue_capacity: Optional[int] = 64,
+    ) -> None:
+        super().__init__(sim, medium, name, position, timing)
+        self.config = config
+        self.queue = StreamQueue(multi=False, capacity=queue_capacity)
+
+    def enqueue(self, payload: Any, dst: str, size_bytes: int) -> bool:
+        if not self.powered:
+            self.stats.enqueue_rejected += 1
+            return False
+        entry = self.queue.push(payload, dst, size_bytes, self.sim.now)
+        if entry is None:
+            self.stats.enqueue_rejected += 1
+            return False
+        return True
+
+    def queue_len(self) -> int:
+        return len(self.queue)
+
+    def on_frame(self, frame: Frame, clean: bool) -> None:
+        if not clean:
+            self.stats.corrupted += 1
+            return
+        self.stats.count_received(frame.kind)
+        if frame.dst != self.name:
+            return
+        if frame.kind is FrameType.RTS:
+            self._answer_poll(frame)
+        elif frame.kind is FrameType.DATA:
+            self.deliver_up(frame.payload, frame.src)
+
+    def _answer_poll(self, poll: Frame) -> None:
+        candidates = self.queue.candidates()
+        if candidates:
+            entry = candidates[0]
+            frame = data_frame(self.name, entry.dst, entry.size_bytes,
+                               payload=entry.payload)
+            if self.send_frame(frame) is not None:
+                self.queue.pop(entry)
+                self.notify_sent(entry.payload, entry.dst)
+                return
+        nothing = control_frame(FrameType.NACK, self.name, poll.src)
+        self.send_frame(nothing)

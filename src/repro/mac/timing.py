@@ -1,0 +1,146 @@
+"""Slot and timeout arithmetic.
+
+All protocol timing derives from two facts (§3): the channel runs at
+256 kbps and control packets are 30 bytes, so one *slot* — the unit of
+contention delay — is the control-frame airtime, 937.5 µs.  The paper's
+simulations use a *null turnaround* (a station can reply the instant a
+frame ends); we keep turnaround configurable but default it to zero.
+
+Timeouts are "time for the expected reply, plus margin".  The margin is one
+slot, which realizes the paper's "some time after the associated CTS packet
+would have finished" and keeps boundary events unambiguous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mac.frames import CONTROL_BYTES
+
+
+@dataclass(frozen=True)
+class MacTiming:
+    """Precomputed durations for one channel configuration.
+
+    Parameters
+    ----------
+    bitrate_bps:
+        Channel rate; 256 kbps for PARC's radio.
+    control_bytes:
+        Control frame size; 30 bytes in the paper.
+    turnaround_s:
+        Receive-to-transmit switching time; the paper simulates it as null.
+    margin_slots:
+        Extra slots added to every timeout/defer so boundary events cannot
+        race.
+    """
+
+    bitrate_bps: float = 256_000.0
+    control_bytes: int = CONTROL_BYTES
+    turnaround_s: float = 0.0
+    margin_slots: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.bitrate_bps <= 0:
+            raise ValueError(f"bitrate must be positive, got {self.bitrate_bps!r}")
+        if self.control_bytes <= 0:
+            raise ValueError(f"control size must be positive, got {self.control_bytes!r}")
+        if self.turnaround_s < 0:
+            raise ValueError(f"turnaround must be >= 0, got {self.turnaround_s!r}")
+
+    # ------------------------------------------------------------ primitives
+    def airtime(self, size_bytes: int) -> float:
+        """Seconds to transmit ``size_bytes``."""
+        if size_bytes <= 0:
+            raise ValueError(f"size must be positive, got {size_bytes!r}")
+        return (size_bytes * 8) / self.bitrate_bps
+
+    @property
+    def slot(self) -> float:
+        """One contention slot = control-frame airtime (§3)."""
+        return self.airtime(self.control_bytes)
+
+    @property
+    def margin(self) -> float:
+        return self.margin_slots * self.slot
+
+    # -------------------------------------------------------------- timeouts
+    def cts_timeout(self) -> float:
+        """How long an RTS sender waits for the CTS (from RTS end)."""
+        return self.turnaround_s + self.slot + self.margin
+
+    def ds_timeout(self) -> float:
+        """How long a CTS sender waits for the DS (from CTS end)."""
+        return self.turnaround_s + self.slot + self.margin
+
+    def data_timeout(self, data_bytes: int) -> float:
+        """How long a receiver waits for DATA of the given size."""
+        return self.turnaround_s + self.airtime(data_bytes) + self.margin
+
+    def ack_timeout(self) -> float:
+        """How long a DATA sender waits for the link ACK (from DATA end)."""
+        return self.turnaround_s + self.slot + self.margin
+
+    def rts_timeout(self) -> float:
+        """How long an RRTS sender waits for the answering RTS."""
+        return self.turnaround_s + self.slot + self.margin
+
+    # ----------------------------------------------------------- defer spans
+    def defer_after_rts(self) -> float:
+        """Overheard RTS: defer until the CTS could finish (§2.3 / §3.3.2).
+
+        Measured from the *end* of the overheard RTS: the receiver's
+        turnaround plus the CTS airtime plus margin.
+        """
+        return self.turnaround_s + self.slot + self.margin
+
+    def defer_after_cts(self, data_bytes: int, use_ds: bool = True,
+                        use_ack: bool = True) -> float:
+        """Overheard CTS: defer for the whole expected DATA.
+
+        Includes the DS slot when the protocol uses DS, and the ACK slot
+        when it uses ACKs — an overhearer of the CTS is in range of the
+        DATA receiver, whose ACK it must not clobber.
+        """
+        span = self.turnaround_s + self.airtime(data_bytes) + self.margin
+        if use_ds:
+            span += self.slot + self.turnaround_s
+        if use_ack:
+            span += self.turnaround_s + self.slot
+        return span
+
+    def defer_after_ds(self, data_bytes: int, use_ack: bool = True) -> float:
+        """Overheard DS: defer until the ACK slot has passed (§3.3.2)."""
+        span = self.airtime(data_bytes) + self.margin
+        if use_ack:
+            span += self.turnaround_s + self.slot
+        return span
+
+    def defer_after_multicast_rts(self, data_bytes: int) -> float:
+        """Overheard multicast RTS: DATA follows immediately, so all
+        stations defer for its length (§3.3.4)."""
+        return self.turnaround_s + self.airtime(data_bytes) + self.margin
+
+    def defer_after_rrts(self) -> float:
+        """Overheard RRTS: "defer for two slot times, long enough to hear if
+        a successful RTS-CTS exchange occurs" (§3.3.3)."""
+        return 2 * self.slot + self.margin
+
+    def defer_full_exchange(self, data_bytes: int) -> float:
+        """Appendix-B-literal RTS defer: the entire remaining exchange
+        (CTS + DS + DATA + ACK) from the end of the overheard RTS."""
+        return (
+            self.turnaround_s
+            + self.slot  # CTS
+            + self.turnaround_s
+            + self.slot  # DS
+            + self.airtime(data_bytes)
+            + self.turnaround_s
+            + self.slot  # ACK
+            + self.margin
+        )
+
+    def exchange_airtime(self, data_bytes: int, use_ds: bool, use_ack: bool) -> float:
+        """Total airtime of one successful exchange (no contention delay)."""
+        control = 2 + (1 if use_ds else 0) + (1 if use_ack else 0)
+        return control * self.slot + self.airtime(data_bytes) + 4 * self.turnaround_s

@@ -1,0 +1,35 @@
+"""Network substrate: packets, traffic generation, UDP and TCP transports.
+
+The paper's workloads are constant-rate streams over UDP (§3.1–§3.3) and
+TCP (§3.3.1's ACK experiment and the office scenario of §3.5).  This
+package provides:
+
+* :mod:`repro.net.packets` — the network-layer packet carried in DATA
+  frames;
+* :mod:`repro.net.traffic` — CBR, Poisson and on/off sources;
+* :mod:`repro.net.sink` — per-station delivery dispatch and the global
+  flow recorder experiments read throughput from;
+* :mod:`repro.net.udp` — fire-and-forget streams;
+* :mod:`repro.net.tcp` — a compact Tahoe-style TCP whose loss recovery is
+  bounded below by the 0.5 s minimum RTO the paper leans on.
+"""
+
+from repro.net.packets import NetPacket, DATA_PACKET_BYTES, TCP_ACK_BYTES
+from repro.net.traffic import CbrSource, PoissonSource, OnOffSource
+from repro.net.sink import Dispatcher, FlowRecorder
+from repro.net.udp import UdpStream
+from repro.net.tcp import TcpStream, TcpConfig
+
+__all__ = [
+    "NetPacket",
+    "DATA_PACKET_BYTES",
+    "TCP_ACK_BYTES",
+    "CbrSource",
+    "PoissonSource",
+    "OnOffSource",
+    "Dispatcher",
+    "FlowRecorder",
+    "UdpStream",
+    "TcpStream",
+    "TcpConfig",
+]

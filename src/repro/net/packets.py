@@ -1,0 +1,62 @@
+"""Network-layer packets.
+
+A :class:`NetPacket` is what MAC DATA frames carry.  The paper's data
+packets are 512 bytes on the wire; our TCP acknowledgements are 40-byte
+packets (an IP+TCP header with no payload) that traverse the same MAC
+exchange as any other packet.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Wire size of the paper's data packets (§3: "All data packets are 512 bytes").
+DATA_PACKET_BYTES = 512
+
+#: Wire size of a TCP pure acknowledgement.
+TCP_ACK_BYTES = 40
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class NetPacket:
+    """One network-layer packet.
+
+    Attributes
+    ----------
+    stream:
+        Application stream identifier, e.g. ``"P1-B"`` — matches the row
+        labels of the paper's tables.
+    kind:
+        ``"udp"``, ``"tcp_data"`` or ``"tcp_ack"``.
+    seq:
+        Transport sequence number (TCP) or generation index (UDP).
+    ack:
+        Cumulative acknowledgement number (``tcp_ack`` only).
+    size_bytes:
+        Wire size, which the MAC uses for airtime.
+    created:
+        Simulated time the packet entered the transport layer.
+    """
+
+    stream: str
+    kind: str
+    seq: int
+    size_bytes: int
+    created: float
+    ack: Optional[int] = None
+    #: True when TCP retransmitted this packet (Karn's rule needs to know).
+    retransmitted: bool = False
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"packet size must be positive, got {self.size_bytes!r}")
+        if self.kind not in ("udp", "tcp_data", "tcp_ack"):
+            raise ValueError(f"unknown packet kind {self.kind!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NetPacket({self.stream}, {self.kind}, seq={self.seq}, {self.size_bytes}B)"

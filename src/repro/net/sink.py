@@ -1,0 +1,124 @@
+"""Delivery dispatch and throughput recording.
+
+Every station's MAC delivers network packets through a
+:class:`Dispatcher`, which routes them to the transport endpoint that owns
+the packet's stream (TCP receivers, TCP senders for ACKs) and mirrors every
+delivery into the scenario-wide :class:`FlowRecorder`.
+
+The recorder is what the experiment harness reads: for UDP streams a
+delivery at the MAC *is* the throughput event; TCP endpoints instead report
+in-order application-level deliveries to the recorder explicitly (MAC-level
+arrivals of TCP segments are retransmission-polluted and are recorded
+separately as raw arrivals).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.mac.base import BaseMac
+from repro.net.packets import NetPacket
+
+
+@dataclass
+class FlowRecord:
+    """Delivery log of one stream: time, bytes, and end-to-end delay."""
+
+    times: List[float] = field(default_factory=list)
+    bytes: List[int] = field(default_factory=list)
+    #: Seconds from packet creation to delivery (NaN when unknown).
+    delays: List[float] = field(default_factory=list)
+
+    def add(self, time: float, size: int, delay: float = float("nan")) -> None:
+        self.times.append(time)
+        self.bytes.append(size)
+        self.delays.append(delay)
+
+    def delays_between(self, start: float, end: float) -> List[float]:
+        lo = bisect.bisect_left(self.times, start)
+        hi = bisect.bisect_left(self.times, end)
+        return [d for d in self.delays[lo:hi] if d == d]  # drop NaN
+
+    def count_between(self, start: float, end: float) -> int:
+        """Deliveries with start <= time < end (times are appended in order)."""
+        lo = bisect.bisect_left(self.times, start)
+        hi = bisect.bisect_left(self.times, end)
+        return hi - lo
+
+    def bytes_between(self, start: float, end: float) -> int:
+        lo = bisect.bisect_left(self.times, start)
+        hi = bisect.bisect_left(self.times, end)
+        return sum(self.bytes[lo:hi])
+
+
+class FlowRecorder:
+    """Scenario-wide registry of per-stream delivery logs."""
+
+    def __init__(self) -> None:
+        self._flows: Dict[str, FlowRecord] = {}
+
+    def record(self, stream: str, time: float, size_bytes: int,
+               created: Optional[float] = None) -> None:
+        flow = self._flows.get(stream)
+        if flow is None:
+            flow = FlowRecord()
+            self._flows[stream] = flow
+        delay = (time - created) if created is not None else float("nan")
+        flow.add(time, size_bytes, delay)
+
+    def flow(self, stream: str) -> FlowRecord:
+        """The record for ``stream`` (empty if nothing delivered yet)."""
+        return self._flows.get(stream, FlowRecord())
+
+    def streams(self) -> List[str]:
+        return sorted(self._flows)
+
+    def throughput_pps(self, stream: str, start: float, end: float) -> float:
+        """Delivered packets per second over [start, end)."""
+        if end <= start:
+            raise ValueError(f"need end > start, got [{start!r}, {end!r})")
+        return self.flow(stream).count_between(start, end) / (end - start)
+
+    def throughput_bps(self, stream: str, start: float, end: float) -> float:
+        """Delivered bits per second over [start, end)."""
+        if end <= start:
+            raise ValueError(f"need end > start, got [{start!r}, {end!r})")
+        return self.flow(stream).bytes_between(start, end) * 8 / (end - start)
+
+
+class Dispatcher:
+    """Routes a MAC's upstream deliveries to per-stream handlers.
+
+    UDP streams rely on the default behaviour (record the delivery);
+    TCP endpoints register a handler for their stream and take over
+    recording themselves.
+    """
+
+    def __init__(self, mac: BaseMac, recorder: Optional[FlowRecorder] = None) -> None:
+        self.mac = mac
+        self.recorder = recorder
+        self._handlers: Dict[str, Callable[[NetPacket, str], None]] = {}
+        #: Packets that arrived with no registered handler and no recorder.
+        self.unclaimed = 0
+        mac.on_deliver = self._on_deliver
+
+    def register(self, stream: str, handler: Callable[[NetPacket, str], None]) -> None:
+        """Attach ``handler(packet, src_mac_name)`` for ``stream``."""
+        if stream in self._handlers:
+            raise ValueError(f"stream {stream!r} already has a handler on {self.mac.name}")
+        self._handlers[stream] = handler
+
+    def _on_deliver(self, packet: NetPacket, src: str) -> None:
+        handler = self._handlers.get(packet.stream)
+        if handler is not None:
+            handler(packet, src)
+            return
+        if self.recorder is not None:
+            self.recorder.record(
+                packet.stream, self.mac.sim.now, packet.size_bytes,
+                created=packet.created,
+            )
+        else:
+            self.unclaimed += 1

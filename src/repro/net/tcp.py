@@ -1,0 +1,276 @@
+"""A compact Tahoe-style TCP.
+
+The paper's argument for link-layer ACKs (§3.3.1) hinges on one property of
+transport recovery: "many current TCP implementations have a minimum
+timeout period of 0.5 sec", so every loss that reaches TCP costs at least
+half a second.  This implementation preserves exactly the machinery that
+matters for that argument:
+
+* cumulative ACKs, one per received segment (40-byte packets that traverse
+  the MAC like any other packet — they consume real channel time);
+* Jacobson RTT estimation with a 0.5 s *minimum* RTO and exponential RTO
+  backoff with Karn's rule;
+* slow start and congestion avoidance (Tahoe: timeout → cwnd = 1).
+
+Deliberate simplifications (documented in DESIGN.md): no fast retransmit /
+dup-ACK recovery — on a one-hop wireless link losses manifest as gaps that
+the paper's 1994-era TCPs recovered via timeout, which is precisely the
+behaviour Table 4 measures — and no delayed ACKs, matching the
+per-segment-ACK budget implied by the paper's Table 4 throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.net.packets import DATA_PACKET_BYTES, NetPacket, TCP_ACK_BYTES
+from repro.net.sink import Dispatcher, FlowRecorder
+from repro.net.traffic import CbrSource
+from repro.sim.kernel import Simulator
+from repro.sim.timers import Timer
+
+
+@dataclass(frozen=True)
+class TcpConfig:
+    """Transport parameters."""
+
+    segment_bytes: int = DATA_PACKET_BYTES
+    ack_bytes: int = TCP_ACK_BYTES
+    #: The constant the paper's §3.3.1 argument rests on.
+    min_rto_s: float = 0.5
+    initial_rto_s: float = 1.0
+    max_rto_s: float = 64.0
+    initial_ssthresh: int = 16
+    #: Window cap, in segments.  8 × 512 B = the 4 KB socket buffers of
+    #: 1994-era BSD stacks; also keeps queueing RTT well under min_rto.
+    max_window: int = 8
+    #: Application send-buffer bound, in segments.
+    send_buffer: int = 256
+    #: Delayed-ACK policy (4.3BSD): acknowledge every Nth in-order segment
+    #: immediately; otherwise hold the ACK for ``delayed_ack_s``.
+    #: Out-of-order segments are always acknowledged immediately.
+    ack_every: int = 2
+    delayed_ack_s: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.min_rto_s <= 0 or self.initial_rto_s < self.min_rto_s:
+            raise ValueError("need 0 < min_rto <= initial_rto")
+        if self.max_window < 1 or self.send_buffer < 1:
+            raise ValueError("window and buffer must be >= 1")
+        if self.ack_every < 1 or self.delayed_ack_s < 0:
+            raise ValueError("need ack_every >= 1 and delayed_ack_s >= 0")
+
+
+class TcpStream:
+    """One unidirectional TCP connection carrying CBR application data.
+
+    The sender side lives at ``src``, the receiver at ``dst``; ACKs flow
+    back through the MAC as 40-byte packets on the stream
+    ``"<stream_id>:ack"``.  In-order application deliveries are recorded in
+    ``recorder`` under ``stream_id`` — these are the pps the paper's TCP
+    tables report.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src: Dispatcher,
+        dst: Dispatcher,
+        stream_id: str,
+        rate_pps: float,
+        recorder: Optional[FlowRecorder] = None,
+        config: TcpConfig = TcpConfig(),
+        start: float = 0.0,
+        stop: Optional[float] = None,
+    ) -> None:
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.stream_id = stream_id
+        self.config = config
+        self.recorder = recorder if recorder is not None else dst.recorder
+
+        # ---------------------------------------------------- sender state
+        #: Segments the application has produced.
+        self.app_generated = 0
+        #: App segments discarded because the send buffer was full.
+        self.app_overflow = 0
+        self.snd_una = 0  # oldest unacknowledged sequence number
+        self.snd_next = 0  # next sequence number to transmit
+        self.cwnd = 1.0
+        self.ssthresh = float(config.initial_ssthresh)
+        self.rto = config.initial_rto_s
+        self._srtt: Optional[float] = None
+        self._rttvar = 0.0
+        self._sent_at: Dict[int, float] = {}
+        self._retransmitted: Dict[int, bool] = {}
+        self.timeouts = 0
+        self.retransmissions = 0
+        self._rto_timer = Timer(sim, self._on_rto, name=f"tcp:{stream_id}:rto")
+
+        # -------------------------------------------------- receiver state
+        self.rcv_next = 0
+        self._reorder: Dict[int, NetPacket] = {}
+        self.delivered_in_order = 0
+        self.acks_sent = 0
+        self._unacked_segments = 0
+        self._delack_timer = Timer(sim, self._flush_ack, name=f"tcp:{stream_id}:delack")
+
+        src.register(f"{stream_id}:ack", self._on_ack)
+        dst.register(stream_id, self._on_segment)
+        self.source = CbrSource(
+            sim, self._on_app_data, rate_pps, start=start, stop=stop, name=stream_id
+        )
+
+    # ============================================================= sender
+    def _on_app_data(self, index: int) -> None:
+        if self.app_generated - self.snd_una >= self.config.send_buffer:
+            self.app_overflow += 1
+            return
+        self.app_generated += 1
+        self._try_send()
+
+    def _window(self) -> int:
+        return min(int(self.cwnd), self.config.max_window)
+
+    def _try_send(self) -> None:
+        """Transmit while the window and send buffer allow."""
+        while (
+            self.snd_next < self.app_generated
+            and self.snd_next - self.snd_una < self._window()
+        ):
+            self._transmit(self.snd_next, retransmit=False)
+            self.snd_next += 1
+        if self.snd_una < self.snd_next and not self._rto_timer.running:
+            self._rto_timer.start(self.rto)
+
+    def _transmit(self, seq: int, retransmit: bool) -> None:
+        packet = NetPacket(
+            stream=self.stream_id,
+            kind="tcp_data",
+            seq=seq,
+            size_bytes=self.config.segment_bytes,
+            created=self.sim.now,
+            retransmitted=retransmit,
+        )
+        if retransmit:
+            self.retransmissions += 1
+            self._retransmitted[seq] = True
+        else:
+            self._sent_at[seq] = self.sim.now
+            self._retransmitted.setdefault(seq, False)
+        # A full MAC queue is just another loss; the RTO recovers it.
+        self.src.mac.enqueue(packet, self.dst.mac.name, packet.size_bytes)
+
+    def _on_ack(self, packet: NetPacket, src_name: str) -> None:
+        assert packet.ack is not None
+        if packet.ack <= self.snd_una:
+            return  # duplicate or stale cumulative ACK
+        newly_acked = packet.ack - self.snd_una
+        for seq in range(self.snd_una, packet.ack):
+            sent = self._sent_at.pop(seq, None)
+            was_retx = self._retransmitted.pop(seq, False)
+            # Karn's rule: never sample RTT from a retransmitted segment.
+            if sent is not None and not was_retx:
+                self._sample_rtt(self.sim.now - sent)
+        self.snd_una = packet.ack
+        # New data acknowledged: clear the exponential RTO backoff (BSD
+        # resets its backoff shift whenever snd_una advances).  Without
+        # this, a burst of losses compounds the timer into multi-second
+        # stalls — one doubling per lost segment.
+        if self._srtt is not None:
+            self.rto = min(
+                max(self.config.min_rto_s, self._srtt + 4 * self._rttvar),
+                self.config.max_rto_s,
+            )
+        for _ in range(newly_acked):
+            if self.cwnd < self.ssthresh:
+                self.cwnd += 1.0  # slow start
+            else:
+                self.cwnd += 1.0 / self.cwnd  # congestion avoidance
+        self.cwnd = min(self.cwnd, float(self.config.max_window))
+        if self.snd_una == self.snd_next:
+            self._rto_timer.stop()
+        else:
+            self._rto_timer.start(self.rto)
+        self._try_send()
+
+    def _sample_rtt(self, rtt: float) -> None:
+        if self._srtt is None:
+            self._srtt = rtt
+            self._rttvar = rtt / 2
+        else:
+            self._rttvar = 0.75 * self._rttvar + 0.25 * abs(self._srtt - rtt)
+            self._srtt = 0.875 * self._srtt + 0.125 * rtt
+        self.rto = max(self.config.min_rto_s, self._srtt + 4 * self._rttvar)
+        self.rto = min(self.rto, self.config.max_rto_s)
+
+    def _on_rto(self) -> None:
+        if self.snd_una == self.snd_next:
+            return
+        self.timeouts += 1
+        flight = self.snd_next - self.snd_una
+        self.ssthresh = max(flight / 2.0, 2.0)
+        self.cwnd = 1.0
+        self.rto = min(self.rto * 2.0, self.config.max_rto_s)  # backoff (Karn)
+        self._transmit(self.snd_una, retransmit=True)
+        self._rto_timer.start(self.rto)
+
+    # ============================================================ receiver
+    def _on_segment(self, packet: NetPacket, src_name: str) -> None:
+        if packet.seq == self.rcv_next:
+            self._deliver(packet)
+            while self.rcv_next in self._reorder:
+                self._deliver(self._reorder.pop(self.rcv_next))
+            self._unacked_segments += 1
+            if self._unacked_segments >= self.config.ack_every:
+                self._flush_ack()
+            else:
+                # Delayed ACK (4.3BSD): hold the ACK briefly in case the
+                # next segment lets us acknowledge two at once.
+                if not self._delack_timer.running:
+                    self._delack_timer.start(self.config.delayed_ack_s)
+        else:
+            # Out-of-order or duplicate: ACK immediately so the sender
+            # resynchronizes without waiting out the delayed-ACK timer.
+            if packet.seq > self.rcv_next:
+                self._reorder[packet.seq] = packet
+            self._flush_ack()
+
+    def _flush_ack(self) -> None:
+        self._delack_timer.stop()
+        self._unacked_segments = 0
+        self._send_ack()
+
+    def _deliver(self, packet: NetPacket) -> None:
+        self.rcv_next = packet.seq + 1
+        self.delivered_in_order += 1
+        if self.recorder is not None:
+            self.recorder.record(
+                self.stream_id, self.sim.now, packet.size_bytes,
+                created=packet.created,
+            )
+
+    def _send_ack(self) -> None:
+        ack = NetPacket(
+            stream=f"{self.stream_id}:ack",
+            kind="tcp_ack",
+            seq=self.acks_sent,
+            size_bytes=self.config.ack_bytes,
+            created=self.sim.now,
+            ack=self.rcv_next,
+        )
+        self.acks_sent += 1
+        self.dst.mac.enqueue(ack, self.src.mac.name, ack.size_bytes)
+
+    # ============================================================== misc
+    def halt(self) -> None:
+        """Stop the application source (in-flight data still completes)."""
+        self.source.halt()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TcpStream({self.stream_id}, una={self.snd_una}, next={self.snd_next},"
+            f" cwnd={self.cwnd:.1f}, rto={self.rto:.2f}s)"
+        )

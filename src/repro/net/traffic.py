@@ -1,0 +1,160 @@
+"""Traffic sources.
+
+The paper's devices "generate data at a constant rate of either 32 or 64
+packets per second" (§3); :class:`CbrSource` reproduces that.  Poisson and
+on/off sources are provided for robustness and ablation experiments beyond
+the paper's workloads.
+
+A source does not know about transports: it invokes a callback once per
+generated packet index, and the transport (UDP stream, TCP connection)
+turns that into packets.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.kernel import Simulator
+
+
+class TrafficSource:
+    """Base: schedules ``emit(index)`` calls between ``start`` and ``stop``."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        emit: Callable[[int], None],
+        start: float = 0.0,
+        stop: Optional[float] = None,
+        name: str = "source",
+    ) -> None:
+        if stop is not None and stop < start:
+            raise ValueError(f"stop {stop!r} precedes start {start!r}")
+        self.sim = sim
+        self.emit = emit
+        self.start = start
+        self.stop = stop
+        self.name = name
+        self.generated = 0
+        self._stopped = False
+
+    def halt(self) -> None:
+        """Stop generating (pending emissions are skipped)."""
+        self._stopped = True
+
+    def _active(self, time: float) -> bool:
+        if self._stopped:
+            return False
+        return self.stop is None or time < self.stop
+
+    def _fire(self) -> None:
+        if not self._active(self.sim.now):
+            return
+        index = self.generated
+        self.generated += 1
+        self.emit(index)
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        raise NotImplementedError
+
+
+class CbrSource(TrafficSource):
+    """Constant bit rate: one packet every 1/rate seconds.
+
+    ``phase`` offsets the first packet inside the first interval so that
+    multiple same-rate sources do not all fire at the same instants (the
+    paper's pads are not clock-synchronized).  By default the phase is
+    drawn from the source's random stream.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        emit: Callable[[int], None],
+        rate_pps: float,
+        start: float = 0.0,
+        stop: Optional[float] = None,
+        name: str = "cbr",
+        phase: Optional[float] = None,
+    ) -> None:
+        super().__init__(sim, emit, start, stop, name)
+        if rate_pps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_pps!r}")
+        self.interval = 1.0 / rate_pps
+        if phase is None:
+            phase = float(sim.streams.get(f"traffic:{name}").random()) * self.interval
+        self._first = start + phase
+        sim.at(max(self._first, sim.now), self._fire)
+
+    def _schedule_next(self) -> None:
+        self.sim.schedule(self.interval, self._fire)
+
+
+class PoissonSource(TrafficSource):
+    """Poisson arrivals with the given mean rate."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        emit: Callable[[int], None],
+        rate_pps: float,
+        start: float = 0.0,
+        stop: Optional[float] = None,
+        name: str = "poisson",
+    ) -> None:
+        super().__init__(sim, emit, start, stop, name)
+        if rate_pps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_pps!r}")
+        self.rate = rate_pps
+        self._rng = sim.streams.get(f"traffic:{name}")
+        sim.at(max(start, sim.now) + self._gap(), self._fire)
+
+    def _gap(self) -> float:
+        return float(self._rng.exponential(1.0 / self.rate))
+
+    def _schedule_next(self) -> None:
+        self.sim.schedule(self._gap(), self._fire)
+
+
+class OnOffSource(TrafficSource):
+    """CBR bursts separated by silences (exponential on/off periods).
+
+    Models the bursty interactive traffic of mobile devices; used in
+    robustness tests rather than in any reproduced table.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        emit: Callable[[int], None],
+        rate_pps: float,
+        mean_on_s: float,
+        mean_off_s: float,
+        start: float = 0.0,
+        stop: Optional[float] = None,
+        name: str = "onoff",
+    ) -> None:
+        super().__init__(sim, emit, start, stop, name)
+        if rate_pps <= 0 or mean_on_s <= 0 or mean_off_s <= 0:
+            raise ValueError("rate and on/off means must be positive")
+        self.interval = 1.0 / rate_pps
+        self.mean_on = mean_on_s
+        self.mean_off = mean_off_s
+        self._rng = sim.streams.get(f"traffic:{name}")
+        self._burst_end = start
+        sim.at(max(start, sim.now), self._begin_burst)
+
+    def _begin_burst(self) -> None:
+        if not self._active(self.sim.now):
+            return
+        self._burst_end = self.sim.now + float(self._rng.exponential(self.mean_on))
+        self._fire()
+
+    def _schedule_next(self) -> None:
+        next_time = self.sim.now + self.interval
+        if next_time <= self._burst_end:
+            self.sim.at(next_time, self._fire)
+        else:
+            gap = float(self._rng.exponential(self.mean_off))
+            self.sim.at(self._burst_end + gap, self._begin_burst)

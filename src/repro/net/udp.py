@@ -1,0 +1,83 @@
+"""UDP streams: constant-rate fire-and-forget traffic.
+
+A :class:`UdpStream` wires a traffic source to the sender's MAC queue and
+lets the receiver-side :class:`~repro.net.sink.Dispatcher` record
+deliveries.  There is no transport-level reliability: when the MAC drops a
+packet (queue overflow or retry exhaustion) the packet is simply lost —
+exactly the semantics the paper's UDP experiments rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mac.base import BaseMac
+from repro.net.packets import DATA_PACKET_BYTES, NetPacket
+from repro.net.traffic import CbrSource, PoissonSource
+from repro.sim.kernel import Simulator
+
+
+class UdpStream:
+    """One unidirectional UDP stream between two MACs.
+
+    Parameters
+    ----------
+    stream_id:
+        Name used in results, e.g. ``"P1-B"``.
+    rate_pps:
+        Application generation rate.
+    packet_bytes:
+        Wire size of each packet (512 in the paper).
+    arrival:
+        ``"cbr"`` (default, the paper's workload) or ``"poisson"``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src_mac: BaseMac,
+        dst_mac: BaseMac,
+        stream_id: str,
+        rate_pps: float,
+        packet_bytes: int = DATA_PACKET_BYTES,
+        start: float = 0.0,
+        stop: Optional[float] = None,
+        arrival: str = "cbr",
+    ) -> None:
+        self.sim = sim
+        self.src_mac = src_mac
+        self.dst_mac = dst_mac
+        self.stream_id = stream_id
+        self.packet_bytes = packet_bytes
+        #: Packets handed to the MAC / rejected by the MAC queue.
+        self.offered = 0
+        self.rejected = 0
+        if arrival == "cbr":
+            self.source = CbrSource(
+                sim, self._emit, rate_pps, start=start, stop=stop, name=stream_id
+            )
+        elif arrival == "poisson":
+            self.source = PoissonSource(
+                sim, self._emit, rate_pps, start=start, stop=stop, name=stream_id
+            )
+        else:
+            raise ValueError(f"unknown arrival process {arrival!r}")
+
+    def _emit(self, index: int) -> None:
+        packet = NetPacket(
+            stream=self.stream_id,
+            kind="udp",
+            seq=index,
+            size_bytes=self.packet_bytes,
+            created=self.sim.now,
+        )
+        self.offered += 1
+        if not self.src_mac.enqueue(packet, self.dst_mac.name, self.packet_bytes):
+            self.rejected += 1
+
+    def halt(self) -> None:
+        """Stop generating new packets (queued ones still drain)."""
+        self.source.halt()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"UdpStream({self.stream_id}, offered={self.offered})"

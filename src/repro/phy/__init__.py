@@ -1,0 +1,49 @@
+"""Physical layer: signal propagation, the shared radio medium, and noise.
+
+The paper's radio (§2.1) is PARC's 5 MHz near-field technology: a single
+256 kbps channel, ~3–4 m range, very sharp signal decay, 10 dB capture
+ratio.  Its simulator (§3) divides space into 1 ft³ cubes and computes the
+field at cube centers.  This package reproduces both that cube model
+(:class:`~repro.phy.grid_medium.GridMedium`) and the paper's simplified
+in-range/out-of-range model from §2.1
+(:class:`~repro.phy.graph_medium.GraphMedium`).
+"""
+
+from repro.phy.signal import (
+    db_to_ratio,
+    ratio_to_db,
+    dbm_to_mw,
+    mw_to_dbm,
+    sum_powers_mw,
+)
+from repro.phy.pathloss import NearFieldPathLoss, FarFieldPathLoss, PathLoss
+from repro.phy.medium import Medium, Transmission, ReceiverPort
+from repro.phy.graph_medium import GraphMedium
+from repro.phy.grid_medium import GridMedium, snap_to_cube_center
+from repro.phy.noise import (
+    LinkErrorModel,
+    NoiseSource,
+    PacketErrorModel,
+    TimeWindowErrorModel,
+)
+
+__all__ = [
+    "db_to_ratio",
+    "ratio_to_db",
+    "dbm_to_mw",
+    "mw_to_dbm",
+    "sum_powers_mw",
+    "PathLoss",
+    "NearFieldPathLoss",
+    "FarFieldPathLoss",
+    "Medium",
+    "Transmission",
+    "ReceiverPort",
+    "GraphMedium",
+    "GridMedium",
+    "snap_to_cube_center",
+    "PacketErrorModel",
+    "NoiseSource",
+    "LinkErrorModel",
+    "TimeWindowErrorModel",
+]

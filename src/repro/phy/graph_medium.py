@@ -1,0 +1,83 @@
+"""Boolean-connectivity medium (the paper's §2.1 "naive model").
+
+"...a very simple model in which any two stations are either in-range or
+out-of-range of one another, and a station successfully receives a packet if
+and only if there is exactly one active transmitter within range of it."
+
+Links are symmetric by default (the paper's no-noise radios are symmetric);
+asymmetric links can be forced for noise/what-if studies.  Collisions: any
+two overlapping audible signals destroy each other at that receiver — there
+is no capture in this model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.phy.medium import Medium, MediumError, ReceiverPort, Transmission
+from repro.sim.kernel import Simulator
+
+
+class GraphMedium(Medium):
+    """Medium where audibility is an explicit edge set."""
+
+    def __init__(self, sim: Simulator, bitrate_bps: float = 256_000.0) -> None:
+        super().__init__(sim, bitrate_bps)
+        self._edges: Dict[ReceiverPort, Set[ReceiverPort]] = {}
+
+    # ------------------------------------------------------------- topology
+    def attach(self, port: ReceiverPort) -> None:
+        super().attach(port)
+        self._edges.setdefault(port, set())
+
+    def detach(self, port: ReceiverPort) -> None:
+        super().detach(port)
+        for peers in self._edges.values():
+            peers.discard(port)
+        self._edges.pop(port, None)
+
+    def set_link(self, a: ReceiverPort, b: ReceiverPort, connected: bool = True,
+                 symmetric: bool = True) -> None:
+        """Create or remove the a→b (and by default b→a) audibility edge."""
+        if a is b:
+            raise MediumError("a station is trivially in range of itself")
+        for port in (a, b):
+            if port not in self._edges:
+                raise MediumError(f"port {port.name!r} is not attached")
+        if connected:
+            self._edges[a].add(b)
+            if symmetric:
+                self._edges[b].add(a)
+        else:
+            self._edges[a].discard(b)
+            if symmetric:
+                self._edges[b].discard(a)
+
+    def connect_clique(self, ports: Iterable[ReceiverPort]) -> None:
+        """Make every pair in ``ports`` mutually audible (a single cell)."""
+        members = list(ports)
+        for i, a in enumerate(members):
+            for b in members[i + 1:]:
+                self.set_link(a, b, True)
+
+    def in_range(self, a: ReceiverPort, b: ReceiverPort) -> bool:
+        """True when ``b`` can hear ``a``."""
+        return b in self._edges.get(a, ())
+
+    def neighbors(self, port: ReceiverPort) -> List[ReceiverPort]:
+        """Ports that can hear ``port``."""
+        return sorted(self._edges.get(port, ()), key=lambda p: p.name)
+
+    # ------------------------------------------------------------- semantics
+    def _audible(self, sender: ReceiverPort, receiver: ReceiverPort) -> bool:
+        return receiver in self._edges.get(sender, ())
+
+    def _interference_ok(
+        self, tx: Transmission, receiver: ReceiverPort, others: List[Transmission]
+    ) -> bool:
+        # Exactly-one-audible-transmitter rule: any concurrent audible signal
+        # destroys the reception, with no capture.
+        for other in others:
+            if self._audible(other.sender, receiver):
+                return False
+        return True

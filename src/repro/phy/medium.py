@@ -1,0 +1,262 @@
+"""The shared radio medium.
+
+A :class:`Medium` owns the set of in-flight :class:`Transmission` objects
+and decides, per receiver, whether each frame arrives *cleanly*.  The
+semantics come straight from the paper (§3):
+
+* a station successfully receives a packet iff the packet's signal is above
+  the reception threshold **and** exceeds the sum of all other signals by the
+  capture ratio (10 dB) **for the entire packet transmission time**;
+* stations are half-duplex: transmitting at any point during a reception
+  corrupts that reception;
+* intermittent noise independently destroys a packet at a receiver with a
+  configured probability, regardless of packet size (§3.3.1).
+
+Concrete subclasses answer two questions — who can hear whom, and at what
+power — via :meth:`Medium._audible` and :meth:`Medium._interference_ok`:
+
+* :class:`~repro.phy.graph_medium.GraphMedium`: boolean connectivity, any
+  overlap of two audible signals is a collision (the §2.1 "naive model").
+* :class:`~repro.phy.grid_medium.GridMedium`: the cube-grid signal model
+  with real powers, thresholds and capture.
+
+Corruption is evaluated incrementally: whenever a transmission starts, every
+in-flight reception it can disturb is re-checked; interference can only mark
+receptions corrupted, never un-corrupt them, so transmission *ends* need no
+re-check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, TYPE_CHECKING
+
+from repro.sim.kernel import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mac.frames import Frame
+    from repro.phy.noise import PacketErrorModel
+
+
+class ReceiverPort:
+    """What the medium needs from an attached radio (a MAC entity).
+
+    Subclasses must provide :attr:`name` and :attr:`position` and override
+    the ``on_*`` callbacks they care about.  ``position`` is (x, y, z) in
+    feet; the graph medium ignores it.
+    """
+
+    name: str = "?"
+    position: Any = (0.0, 0.0, 0.0)
+
+    def on_frame(self, frame: "Frame", clean: bool) -> None:
+        """A frame finished arriving.  ``clean`` is False for collisions,
+        capture failures, half-duplex overlap, or noise corruption."""
+
+    def on_carrier(self, busy: bool) -> None:
+        """The sensed-carrier state changed (used by CSMA variants)."""
+
+    def on_transmit_complete(self, transmission: "Transmission") -> None:
+        """Our own transmission left the air."""
+
+
+@dataclass
+class Transmission:
+    """One frame in flight."""
+
+    frame: "Frame"
+    sender: ReceiverPort
+    start: float
+    end: float
+    #: Receivers currently copying this transmission, with corruption flags.
+    receptions: Dict[ReceiverPort, bool] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+
+class MediumError(RuntimeError):
+    """Raised on misuse: transmitting while already transmitting, etc."""
+
+
+class Medium:
+    """Base class implementing transmission lifecycle and corruption logic."""
+
+    def __init__(self, sim: Simulator, bitrate_bps: float = 256_000.0) -> None:
+        if bitrate_bps <= 0:
+            raise ValueError(f"bitrate must be positive, got {bitrate_bps!r}")
+        self.sim = sim
+        self.bitrate_bps = bitrate_bps
+        self._ports: List[ReceiverPort] = []
+        self._active: Set[Transmission] = set()
+        self._transmitting: Dict[ReceiverPort, Transmission] = {}
+        self._carrier_count: Dict[ReceiverPort, int] = {}
+        self._noise_models: List["PacketErrorModel"] = []
+        #: Statistics: frames delivered cleanly / corrupted, per medium.
+        self.clean_deliveries = 0
+        self.corrupt_deliveries = 0
+
+    # ------------------------------------------------------------- topology
+    def attach(self, port: ReceiverPort) -> None:
+        """Register a radio with the medium."""
+        if port in self._ports:
+            raise MediumError(f"port {port.name!r} attached twice")
+        self._ports.append(port)
+        self._carrier_count[port] = 0
+
+    def detach(self, port: ReceiverPort) -> None:
+        """Remove a radio (power-off, leaving the floor).
+
+        In-flight receptions at the port are silently discarded; an
+        in-flight transmission from the port keeps occupying the air until
+        its scheduled end (a real radio's last frame does too).
+        """
+        self._ports.remove(port)
+        self._carrier_count.pop(port, None)
+        for tx in self._active:
+            tx.receptions.pop(port, None)
+
+    @property
+    def ports(self) -> List[ReceiverPort]:
+        return list(self._ports)
+
+    def add_noise_model(self, model: "PacketErrorModel") -> None:
+        """Attach a packet-error model applied to every delivery."""
+        self._noise_models.append(model)
+
+    # ------------------------------------------------------------ subclasses
+    def _audible(self, sender: ReceiverPort, receiver: ReceiverPort) -> bool:
+        """Can ``receiver`` detect/copy a signal from ``sender`` at all?"""
+        raise NotImplementedError
+
+    def _interference_ok(
+        self, tx: Transmission, receiver: ReceiverPort, others: List[Transmission]
+    ) -> bool:
+        """Does ``tx`` survive the given concurrent ``others`` at
+        ``receiver`` (capture condition)?  ``others`` excludes ``tx`` and
+        contains only transmissions from senders other than ``receiver``."""
+        raise NotImplementedError
+
+    # ---------------------------------------------------------- transmitting
+    def airtime(self, size_bytes: int) -> float:
+        """Seconds needed to put ``size_bytes`` on the air."""
+        if size_bytes <= 0:
+            raise ValueError(f"frame size must be positive, got {size_bytes!r}")
+        return (size_bytes * 8) / self.bitrate_bps
+
+    def is_transmitting(self, port: ReceiverPort) -> bool:
+        return port in self._transmitting
+
+    def carrier_sensed(self, port: ReceiverPort) -> bool:
+        """True when the port senses any foreign signal right now."""
+        return self._carrier_count.get(port, 0) > 0
+
+    def transmit(self, sender: ReceiverPort, frame: "Frame") -> Transmission:
+        """Put ``frame`` on the air from ``sender``; returns the transmission.
+
+        Delivery callbacks fire at the end of the airtime.  Propagation delay
+        is negligible at nanocell scale (≤ 4 m ≈ 13 ns) and is modelled as
+        zero, as in the paper.
+        """
+        if sender not in self._ports:
+            raise MediumError(f"sender {sender.name!r} is not attached")
+        if sender in self._transmitting:
+            raise MediumError(f"{sender.name!r} is already transmitting")
+        now = self.sim.now
+        tx = Transmission(frame=frame, sender=sender, start=now, end=now + self.airtime(frame.size_bytes))
+        self._active.add(tx)
+        self._transmitting[sender] = tx
+
+        # Half-duplex: anything the sender was copying is now lost.
+        for other in self._active:
+            if other is not tx and sender in other.receptions:
+                other.receptions[sender] = True  # corrupted
+
+        # Start receptions at every audible port and re-check interference.
+        # Transmissions whose scheduled end is exactly now have zero overlap
+        # with this one (their end event just hasn't processed yet) and
+        # cannot interfere.
+        concurrent = [t for t in self._active if t is not tx and t.end > now]
+        for port in self._ports:
+            if port is sender:
+                continue
+            if self._audible(sender, port):
+                corrupted = port in self._transmitting
+                others = [t for t in concurrent if t.sender is not port]
+                if not corrupted and not self._interference_ok(tx, port, others):
+                    corrupted = True
+                tx.receptions[port] = corrupted
+                self._carrier_up(port)
+            # The new signal may destroy receptions already in progress at
+            # this port — including when it is itself below the reception
+            # threshold there ("the sum of the other signals" counts
+            # sub-threshold interferers too).
+            for other in concurrent:
+                if port in other.receptions and not other.receptions[port]:
+                    remaining = [
+                        t for t in self._active
+                        if t is not other and t.sender is not port and t.end > now
+                    ]
+                    if not self._interference_ok(other, port, remaining):
+                        other.receptions[port] = True
+
+        # Priority -1: at a time tie, receivers learn of the frame's end
+        # before any of their own timers fire (see EventHandle docs).
+        self.sim.at(tx.end, self._finish, tx, priority=-1)
+        return tx
+
+    def _finish(self, tx: Transmission) -> None:
+        self._active.discard(tx)
+        if self._transmitting.get(tx.sender) is tx:
+            del self._transmitting[tx.sender]
+        for port, corrupted in tx.receptions.items():
+            if port not in self._carrier_count:
+                continue  # detached mid-flight
+            self._carrier_down(port)
+            clean = not corrupted and not self._noise_drops(tx, port)
+            if clean:
+                self.clean_deliveries += 1
+            else:
+                self.corrupt_deliveries += 1
+            port.on_frame(tx.frame, clean)
+        tx.sender.on_transmit_complete(tx)
+
+    def _noise_drops(self, tx: Transmission, receiver: ReceiverPort) -> bool:
+        for model in self._noise_models:
+            if model.drops(self.sim, tx, receiver):
+                return True
+        return False
+
+    # ----------------------------------------------------------- carrier CB
+    def _carrier_up(self, port: ReceiverPort) -> None:
+        count = self._carrier_count.get(port)
+        if count is None:
+            return
+        self._carrier_count[port] = count + 1
+        if count == 0:
+            port.on_carrier(True)
+
+    def _carrier_down(self, port: ReceiverPort) -> None:
+        count = self._carrier_count.get(port)
+        if count is None:
+            return
+        self._carrier_count[port] = count - 1
+        if count == 1:
+            port.on_carrier(False)
+
+    # ------------------------------------------------------------- inspection
+    def active_transmissions(self) -> List[Transmission]:
+        return list(self._active)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(ports={len(self._ports)},"
+            f" active={len(self._active)}, bitrate={self.bitrate_bps:g}bps)"
+        )

@@ -1,0 +1,125 @@
+"""Intermittent-noise models.
+
+§3.3.1: "Intermittent noise is modeled as a given probability that each
+packet (regardless of size) is not received cleanly at its intended
+destination."  §3.5 models an electronic whiteboard as a packet error rate
+of 0.01 affecting one cell.
+
+Each model answers one question per (transmission, receiver) delivery:
+does the packet get destroyed at that receiver?  Draws come from the
+simulator's dedicated ``"noise"`` random stream so noise outcomes don't
+perturb protocol or traffic randomness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Set, Tuple, TYPE_CHECKING
+
+from repro.phy.pathloss import distance_ft
+from repro.sim.kernel import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.phy.medium import ReceiverPort, Transmission
+
+
+class PacketErrorModel:
+    """Uniform per-delivery packet error rate.
+
+    Parameters
+    ----------
+    error_rate:
+        Probability in [0, 1] that a delivery is destroyed.
+    receivers:
+        Restrict the model to these receiver names (None = all receivers).
+    stream:
+        Name of the random stream to draw from.
+    """
+
+    def __init__(
+        self,
+        error_rate: float,
+        receivers: Optional[Iterable[str]] = None,
+        stream: str = "noise",
+    ) -> None:
+        if not 0.0 <= error_rate <= 1.0:
+            raise ValueError(f"error rate must be in [0,1], got {error_rate!r}")
+        self.error_rate = error_rate
+        self.receivers: Optional[Set[str]] = set(receivers) if receivers is not None else None
+        self.stream = stream
+        #: Number of deliveries this model destroyed (for tests/diagnostics).
+        self.drops_count = 0
+
+    def applies_to(self, sim: Simulator, tx: "Transmission", receiver: "ReceiverPort") -> bool:
+        """Whether this model covers the given delivery."""
+        return self.receivers is None or receiver.name in self.receivers
+
+    def drops(self, sim: Simulator, tx: "Transmission", receiver: "ReceiverPort") -> bool:
+        """Decide (with a fresh random draw) whether the delivery is lost."""
+        if self.error_rate == 0.0 or not self.applies_to(sim, tx, receiver):
+            return False
+        if sim.streams.get(self.stream).random() < self.error_rate:
+            self.drops_count += 1
+            return True
+        return False
+
+
+class NoiseSource(PacketErrorModel):
+    """A located noise emitter (e.g. the whiteboard in Figure 11).
+
+    Destroys deliveries at receivers within ``radius_ft`` of ``position``
+    with probability ``error_rate``.  Receiver positions are read at
+    delivery time, so mobile stations move in and out of its influence.
+    """
+
+    def __init__(
+        self,
+        position: Tuple[float, float, float],
+        radius_ft: float,
+        error_rate: float,
+        stream: str = "noise",
+    ) -> None:
+        super().__init__(error_rate, receivers=None, stream=stream)
+        if radius_ft <= 0:
+            raise ValueError(f"radius must be positive, got {radius_ft!r}")
+        self.position = position
+        self.radius_ft = radius_ft
+
+    def applies_to(self, sim: Simulator, tx: "Transmission", receiver: "ReceiverPort") -> bool:
+        return distance_ft(tuple(receiver.position), self.position) <= self.radius_ft
+
+
+class LinkErrorModel(PacketErrorModel):
+    """Per-directed-link packet error rate.
+
+    Useful for constructing the asymmetric-loss scenarios of §3.4 ("noise
+    close to either the sender ... or the receiver"): corrupt only RTS
+    arrivals at B, or only CTS arrivals at A.
+    """
+
+    def __init__(self, links: Iterable[Tuple[str, str]], error_rate: float,
+                 stream: str = "noise") -> None:
+        super().__init__(error_rate, receivers=None, stream=stream)
+        self.links: Set[Tuple[str, str]] = set(links)
+
+    def applies_to(self, sim: Simulator, tx: "Transmission", receiver: "ReceiverPort") -> bool:
+        return (tx.sender.name, receiver.name) in self.links
+
+
+class TimeWindowErrorModel(PacketErrorModel):
+    """A packet error rate active only inside [start, end) simulated seconds.
+
+    Supports burst-noise failure injection in tests.
+    """
+
+    def __init__(self, error_rate: float, start: float, end: float,
+                 receivers: Optional[Iterable[str]] = None, stream: str = "noise") -> None:
+        super().__init__(error_rate, receivers=receivers, stream=stream)
+        if end < start:
+            raise ValueError("noise window must have end >= start")
+        self.start = start
+        self.end = end
+
+    def applies_to(self, sim: Simulator, tx: "Transmission", receiver: "ReceiverPort") -> bool:
+        if not self.start <= sim.now < self.end:
+            return False
+        return super().applies_to(sim, tx, receiver)

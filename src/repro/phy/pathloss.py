@@ -1,0 +1,98 @@
+"""Path-loss models for the nano-cellular radio.
+
+The paper (§2.1): "the near-field signal strength decays very rapidly
+(≈ r^-γ, as opposed to ≈ r^-2 in the far-field region)" and "Capture ...
+requires a distance ratio of ≈ 1.5" for the 10 dB capture condition.  A
+decay exponent γ with ``1.5^γ = 10 dB`` gives γ ≈ 5.68; we default to 6.0,
+which yields a 10 dB capture at distance ratio ≈ 1.47 and the sharply
+bounded ~10 ft cells the paper describes.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+#: Distance below which the field is treated as constant, to avoid the
+#: r → 0 singularity.  One foot — the cube edge of the paper's grid.
+MIN_DISTANCE_FT = 1.0
+
+
+class PathLoss(ABC):
+    """Maps (transmit power, distance) to received power, in milliwatts."""
+
+    @abstractmethod
+    def received_power_mw(self, tx_power_mw: float, distance_ft: float) -> float:
+        """Received power at ``distance_ft`` from a ``tx_power_mw`` source."""
+
+    def range_for_threshold_ft(self, tx_power_mw: float, threshold_mw: float) -> float:
+        """Distance at which received power falls to ``threshold_mw``.
+
+        Solved numerically by bisection so subclasses only implement the
+        forward model.  Assumes monotonic decay beyond MIN_DISTANCE_FT.
+        """
+        if threshold_mw <= 0.0:
+            raise ValueError("threshold must be positive")
+        if self.received_power_mw(tx_power_mw, MIN_DISTANCE_FT) < threshold_mw:
+            return 0.0
+        lo, hi = MIN_DISTANCE_FT, MIN_DISTANCE_FT
+        while self.received_power_mw(tx_power_mw, hi) >= threshold_mw:
+            hi *= 2.0
+            if hi > 1e6:  # pragma: no cover - defensive
+                raise ValueError("threshold unreachable within 1e6 ft")
+        for _ in range(80):
+            mid = 0.5 * (lo + hi)
+            if self.received_power_mw(tx_power_mw, mid) >= threshold_mw:
+                lo = mid
+            else:
+                hi = mid
+        return 0.5 * (lo + hi)
+
+
+class NearFieldPathLoss(PathLoss):
+    """Near-field decay: P(r) = P_tx · (r_ref / r)^γ with a sharp exponent.
+
+    Parameters
+    ----------
+    gamma:
+        Decay exponent.  Default 6.0 (see module docstring).
+    reference_ft:
+        Distance at which received power equals transmit power.
+    """
+
+    def __init__(self, gamma: float = 6.0, reference_ft: float = 1.0) -> None:
+        if gamma <= 0:
+            raise ValueError(f"gamma must be positive, got {gamma!r}")
+        if reference_ft <= 0:
+            raise ValueError(f"reference distance must be positive, got {reference_ft!r}")
+        self.gamma = gamma
+        self.reference_ft = reference_ft
+
+    def received_power_mw(self, tx_power_mw: float, distance_ft: float) -> float:
+        r = max(distance_ft, MIN_DISTANCE_FT)
+        return tx_power_mw * (self.reference_ft / r) ** self.gamma
+
+    def capture_distance_ratio(self, capture_db: float) -> float:
+        """Distance ratio needed for a ``capture_db`` power advantage."""
+        return 10.0 ** (capture_db / (10.0 * self.gamma))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NearFieldPathLoss(gamma={self.gamma}, reference_ft={self.reference_ft})"
+
+
+class FarFieldPathLoss(NearFieldPathLoss):
+    """Conventional far-field inverse-square decay (γ = 2).
+
+    Included as the contrast the paper draws in §2.1; useful in tests and
+    for what-if experiments outside the nanocell regime.
+    """
+
+    def __init__(self, reference_ft: float = 1.0) -> None:
+        super().__init__(gamma=2.0, reference_ft=reference_ft)
+
+
+def distance_ft(a: "tuple[float, float, float]", b: "tuple[float, float, float]") -> float:
+    """Euclidean distance between two (x, y, z) positions in feet."""
+    return math.sqrt(
+        (a[0] - b[0]) ** 2 + (a[1] - b[1]) ** 2 + (a[2] - b[2]) ** 2
+    )

@@ -1,0 +1,61 @@
+"""Decibel and power arithmetic helpers.
+
+All medium-level computation works in linear milliwatts; decibels appear
+only at configuration boundaries (the paper quotes its capture condition as
+"greater than the sum of the other signals by at least 10 dB").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+
+def db_to_ratio(db: float) -> float:
+    """Convert a decibel value to a linear power ratio."""
+    return 10.0 ** (db / 10.0)
+
+
+def ratio_to_db(ratio: float) -> float:
+    """Convert a linear power ratio to decibels.
+
+    Raises ValueError for non-positive ratios, which have no dB image.
+    """
+    if ratio <= 0.0:
+        raise ValueError(f"power ratio must be positive, got {ratio!r}")
+    return 10.0 * math.log10(ratio)
+
+
+def dbm_to_mw(dbm: float) -> float:
+    """Convert dBm to milliwatts."""
+    return 10.0 ** (dbm / 10.0)
+
+
+def mw_to_dbm(mw: float) -> float:
+    """Convert milliwatts to dBm."""
+    if mw <= 0.0:
+        raise ValueError(f"power must be positive, got {mw!r}")
+    return 10.0 * math.log10(mw)
+
+
+def sum_powers_mw(powers: Iterable[float]) -> float:
+    """Sum linear powers (interference adds linearly, not in dB)."""
+    total = 0.0
+    for p in powers:
+        if p < 0.0:
+            raise ValueError(f"negative power {p!r}")
+        total += p
+    return total
+
+
+def sinr_ok(signal_mw: float, interference_mw: float, capture_db: float) -> bool:
+    """True when ``signal`` exceeds ``interference`` by ``capture_db``.
+
+    Zero interference always passes; zero signal never does.  This is the
+    paper's capture condition evaluated at one instant.
+    """
+    if signal_mw <= 0.0:
+        return False
+    if interference_mw <= 0.0:
+        return True
+    return signal_mw >= interference_mw * db_to_ratio(capture_db)

@@ -1,0 +1,94 @@
+"""Cancellable event handles for the simulation kernel.
+
+An :class:`EventHandle` is returned by :meth:`repro.sim.kernel.Simulator.at`
+and :meth:`repro.sim.kernel.Simulator.schedule`.  Cancellation is lazy: the
+heap entry stays in the queue but is skipped when popped.  This keeps both
+scheduling and cancellation O(log n) / O(1) and avoids the cost of heap
+surgery, which matters because MAC state machines cancel timers constantly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Optional, Tuple
+
+#: Monotonic tie-break counter shared by all simulators in the process.  Two
+#: events scheduled for the same instant fire in scheduling order, which makes
+#: runs reproducible regardless of heap internals.
+_sequence = itertools.count()
+
+
+class EventHandle:
+    """A scheduled callback that can be cancelled before it fires.
+
+    Instances are ordered by ``(time, priority, seq)`` so they can live
+    directly in a heap.  Lower priority values fire first at the same
+    instant; the default is 0.  The physical layer schedules frame-end
+    deliveries at priority -1 so that a station processes "I just heard the
+    end of that RTS" *before* "my contention slot boundary arrived" when the
+    two coincide — a real radio's defer check sees the finished frame.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "_cancelled", "_fired")
+
+    def __init__(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...] = (),
+        priority: int = 0,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = next(_sequence)
+        self.callback: Optional[Callable[..., Any]] = callback
+        self.args = args
+        self._cancelled = False
+        self._fired = False
+
+    @property
+    def cancelled(self) -> bool:
+        """True when :meth:`cancel` was called before the event fired."""
+        return self._cancelled
+
+    @property
+    def fired(self) -> bool:
+        """True once the kernel has invoked the callback."""
+        return self._fired
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is still due to fire."""
+        return not (self._cancelled or self._fired)
+
+    def cancel(self) -> bool:
+        """Prevent the callback from running.
+
+        Returns True when the event was still pending, False when it had
+        already fired or been cancelled (cancelling twice is harmless).
+        """
+        if not self.pending:
+            return False
+        self._cancelled = True
+        # Break reference cycles early; the heap entry lingers until popped.
+        self.callback = None
+        self.args = ()
+        return True
+
+    def _fire(self) -> None:
+        """Invoke the callback.  Called by the kernel only."""
+        if self._cancelled:
+            return
+        self._fired = True
+        callback, args = self.callback, self.args
+        self.callback = None
+        self.args = ()
+        assert callback is not None
+        callback(*args)
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.priority, self.seq) < (other.time, other.priority, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else ("fired" if self._fired else "pending")
+        return f"EventHandle(t={self.time:.6f}, seq={self.seq}, {state})"

@@ -1,0 +1,51 @@
+"""Named, independently-seeded random streams.
+
+A simulation mixes several kinds of randomness: contention-slot draws at each
+station, traffic inter-arrival jitter, per-packet noise.  Drawing them all
+from one generator makes results fragile — adding one station perturbs every
+other station's sequence.  :class:`RandomStreams` derives an independent
+``numpy`` generator per name from a single master seed, so component A's
+draws never depend on how often component B draws.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict
+
+import numpy as np
+
+
+class RandomStreams:
+    """Registry of named :class:`numpy.random.Generator` instances.
+
+    Stream seeds are derived as ``(master_seed, crc32(name))`` through
+    :class:`numpy.random.SeedSequence`, so the same ``(seed, name)`` pair
+    always yields the same sequence regardless of creation order.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    def get(self, name: str) -> np.random.Generator:
+        """Return (creating on first use) the generator for ``name``."""
+        stream = self._streams.get(name)
+        if stream is None:
+            key = zlib.crc32(name.encode("utf-8"))
+            sequence = np.random.SeedSequence(entropy=(self.seed, key))
+            stream = np.random.default_rng(sequence)
+            self._streams[name] = stream
+        return stream
+
+    def uniform_slots(self, name: str, low: int, high: int) -> int:
+        """Uniform integer in ``[low, high]`` — the paper's slot draw."""
+        if high < low:
+            high = low
+        return int(self.get(name).integers(low, high + 1))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._streams
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RandomStreams(seed={self.seed}, streams={sorted(self._streams)})"

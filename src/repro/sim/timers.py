@@ -1,0 +1,81 @@
+"""Restartable one-shot timers built on kernel events.
+
+MAC state machines set, clear and re-arm timeouts on almost every frame.
+:class:`Timer` wraps the schedule/cancel dance so a state machine can say
+``self.timer.start(delay)`` / ``self.timer.stop()`` without tracking raw
+event handles, and so a stale callback can never fire after a restart.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.events import EventHandle
+from repro.sim.kernel import Simulator
+
+
+class Timer:
+    """A one-shot timer whose callback fires unless stopped or restarted.
+
+    Restarting implicitly cancels the previous arming, so at most one expiry
+    is ever outstanding.  The callback receives no arguments; bind context
+    when constructing the timer.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[[], Any], name: str = "") -> None:
+        self._sim = sim
+        self._callback = callback
+        self.name = name
+        self._handle: Optional[EventHandle] = None
+
+    @property
+    def running(self) -> bool:
+        """True while an expiry is pending."""
+        return self._handle is not None and self._handle.pending
+
+    @property
+    def expires_at(self) -> Optional[float]:
+        """Absolute expiry time, or None when not running."""
+        if self.running:
+            assert self._handle is not None
+            return self._handle.time
+        return None
+
+    def start(self, delay: float) -> None:
+        """Arm (or re-arm) the timer ``delay`` seconds from now."""
+        self.stop()
+        self._handle = self._sim.schedule(delay, self._expire)
+
+    def start_at(self, time: float) -> None:
+        """Arm (or re-arm) the timer at absolute ``time``."""
+        self.stop()
+        self._handle = self._sim.at(time, self._expire)
+
+    def extend_to(self, time: float) -> None:
+        """Push the expiry out to ``time`` if that is later than current.
+
+        Arms the timer when idle.  Used by defer bookkeeping: overheard
+        control packets may lengthen, but never shorten, a quiet period
+        (Appendix B control rule 11).
+        """
+        current = self.expires_at
+        if current is None or time > current:
+            self.start_at(max(time, self._sim.now))
+
+    def stop(self) -> bool:
+        """Disarm the timer.  Returns True when an expiry was pending."""
+        if self._handle is not None and self._handle.pending:
+            self._handle.cancel()
+            self._handle = None
+            return True
+        self._handle = None
+        return False
+
+    def _expire(self) -> None:
+        self._handle = None
+        self._callback()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.running:
+            return f"Timer({self.name!r}, expires_at={self.expires_at:.6f})"
+        return f"Timer({self.name!r}, idle)"

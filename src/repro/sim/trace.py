@@ -1,0 +1,80 @@
+"""Lightweight protocol event tracing.
+
+A :class:`Trace` collects timestamped records emitted by model components
+(frame sent, frame received, collision, state change, packet drop...).
+Traces power the debugging workflow and a few tests that assert on protocol
+event sequences; they are disabled by default because recording every event
+of a 2000-second run is expensive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced protocol event."""
+
+    time: float
+    category: str
+    station: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def matches(self, category: Optional[str] = None, station: Optional[str] = None) -> bool:
+        """Filter predicate used by :meth:`Trace.select`."""
+        if category is not None and self.category != category:
+            return False
+        if station is not None and self.station != station:
+            return False
+        return True
+
+
+class Trace:
+    """Append-only record store with simple filtering.
+
+    ``enabled=False`` turns :meth:`record` into a no-op so the hot path pays
+    only one attribute check.
+    """
+
+    def __init__(self, enabled: bool = True, capacity: Optional[int] = None) -> None:
+        self.enabled = enabled
+        self.capacity = capacity
+        self._records: List[TraceRecord] = []
+        #: Count of records dropped after hitting ``capacity``.
+        self.dropped = 0
+
+    def record(self, time: float, category: str, station: str, **detail: Any) -> None:
+        """Append a record (no-op when disabled; drops when at capacity)."""
+        if not self.enabled:
+            return
+        if self.capacity is not None and len(self._records) >= self.capacity:
+            self.dropped += 1
+            return
+        self._records.append(TraceRecord(time, category, station, detail))
+
+    def select(
+        self, category: Optional[str] = None, station: Optional[str] = None
+    ) -> List[TraceRecord]:
+        """Records matching the given filters, in time order."""
+        return [r for r in self._records if r.matches(category, station)]
+
+    def counts(self) -> Dict[Tuple[str, str], int]:
+        """Histogram of records keyed by ``(category, station)``."""
+        out: Dict[Tuple[str, str], int] = {}
+        for r in self._records:
+            key = (r.category, r.station)
+            out[key] = out.get(key, 0) + 1
+        return out
+
+    def clear(self) -> None:
+        """Discard all records (keeps the enabled flag)."""
+        self._records.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)

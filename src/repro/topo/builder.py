@@ -1,0 +1,335 @@
+"""Declarative scenario construction.
+
+A :class:`ScenarioBuilder` collects the description of an experiment —
+medium type, stations, connectivity, traffic streams, noise, scheduled
+events — and :meth:`~ScenarioBuilder.build` materializes it into a
+:class:`Scenario` ready to :meth:`~Scenario.run`.
+
+Example (the paper's Figure 2)::
+
+    builder = ScenarioBuilder(seed=1, protocol="maca")
+    builder.add_base("B")
+    builder.add_pad("P1")
+    builder.add_pad("P2")
+    builder.clique("B", "P1", "P2")
+    builder.udp("P1", "B", rate_pps=64)
+    builder.udp("P2", "B", rate_pps=64)
+    scenario = builder.build().run(500)
+    scenario.throughput("P1-B", warmup=50)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.config import MACA_CONFIG, MACAW_CONFIG, ProtocolConfig
+from repro.core.macaw import MacawMac
+from repro.mac.base import BaseMac
+from repro.mac.csma import CsmaConfig, CsmaMac
+from repro.mac.timing import MacTiming
+from repro.net.sink import FlowRecorder
+from repro.net.tcp import TcpConfig, TcpStream
+from repro.net.udp import UdpStream
+from repro.phy.graph_medium import GraphMedium
+from repro.phy.grid_medium import GridMedium
+from repro.phy.medium import Medium
+from repro.phy.noise import PacketErrorModel
+from repro.sim.kernel import Simulator
+from repro.sim.trace import Trace
+from repro.topo.station import Station
+
+#: Default warm-up excluded from throughput measurements (§3: "a warmup
+#: period of 50 seconds").
+DEFAULT_WARMUP_S = 50.0
+
+
+class Scenario:
+    """A materialized experiment: simulator, medium, stations and streams."""
+
+    def __init__(self, sim: Simulator, medium: Medium, recorder: FlowRecorder) -> None:
+        self.sim = sim
+        self.medium = medium
+        self.recorder = recorder
+        self.stations: Dict[str, Station] = {}
+        self.streams: Dict[str, Any] = {}
+        self.duration: Optional[float] = None
+
+    def station(self, name: str) -> Station:
+        return self.stations[name]
+
+    def stream(self, stream_id: str) -> Any:
+        return self.streams[stream_id]
+
+    def run(self, duration: float) -> "Scenario":
+        """Advance the simulation to ``duration`` seconds and remember it."""
+        self.sim.run(until=duration)
+        self.duration = duration
+        return self
+
+    # ------------------------------------------------------------- results
+    def throughput(
+        self,
+        stream_id: str,
+        warmup: float = DEFAULT_WARMUP_S,
+        end: Optional[float] = None,
+    ) -> float:
+        """Delivered packets per second for one stream, past warm-up."""
+        if end is None:
+            if self.duration is None:
+                raise RuntimeError("run() the scenario before reading throughput")
+            end = self.duration
+        return self.recorder.throughput_pps(stream_id, warmup, end)
+
+    def throughputs(
+        self, warmup: float = DEFAULT_WARMUP_S, end: Optional[float] = None
+    ) -> Dict[str, float]:
+        """Throughput of every declared stream, in declaration order."""
+        return {
+            stream_id: self.throughput(stream_id, warmup, end)
+            for stream_id in self.streams
+        }
+
+
+@dataclass
+class _StationSpec:
+    name: str
+    kind: str
+    position: Tuple[float, float, float]
+    protocol: Optional[str]
+    config: Optional[Any]
+
+
+class ScenarioBuilder:
+    """Collects an experiment description; ``build()`` wires it together.
+
+    Parameters
+    ----------
+    seed:
+        Master random seed (one integer reproduces the whole run).
+    medium:
+        ``"graph"`` (explicit connectivity, the figures' textual topology)
+        or ``"grid"`` (the paper's cube-grid signal model).
+    protocol:
+        Default MAC for stations: ``"macaw"``, ``"maca"`` or ``"csma"``.
+    config:
+        Default protocol configuration (a :class:`ProtocolConfig` for
+        macaw/maca, a :class:`CsmaConfig` for csma).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        medium: str = "graph",
+        protocol: str = "macaw",
+        config: Optional[Any] = None,
+        bitrate_bps: float = 256_000.0,
+        trace: bool = False,
+        grid_kwargs: Optional[Dict[str, Any]] = None,
+        queue_capacity: Optional[int] = 64,
+        timing: Optional[MacTiming] = None,
+    ) -> None:
+        if medium not in ("graph", "grid"):
+            raise ValueError(f"medium must be 'graph' or 'grid', got {medium!r}")
+        self.seed = seed
+        self.medium_kind = medium
+        self.protocol = protocol
+        self.config = config
+        self.bitrate_bps = bitrate_bps
+        self.trace = trace
+        self.grid_kwargs = grid_kwargs or {}
+        self.queue_capacity = queue_capacity
+        self.timing = timing
+        self._stations: List[_StationSpec] = []
+        self._links: List[Tuple[str, str, bool]] = []
+        self._streams: List[Tuple[str, Dict[str, Any]]] = []
+        self._noise: List[PacketErrorModel] = []
+        self._events: List[Tuple[float, Callable[[Scenario], None]]] = []
+
+    # ------------------------------------------------------------- stations
+    def add_station(
+        self,
+        name: str,
+        kind: str,
+        position: Tuple[float, float, float] = (0.0, 0.0, 0.0),
+        protocol: Optional[str] = None,
+        config: Optional[Any] = None,
+    ) -> "ScenarioBuilder":
+        if any(spec.name == name for spec in self._stations):
+            raise ValueError(f"duplicate station {name!r}")
+        self._stations.append(_StationSpec(name, kind, position, protocol, config))
+        return self
+
+    def add_pad(self, name: str, position: Tuple[float, float, float] = (0.0, 0.0, 0.0),
+                **kwargs: Any) -> "ScenarioBuilder":
+        return self.add_station(name, "pad", position, **kwargs)
+
+    def add_base(self, name: str, position: Tuple[float, float, float] = (0.0, 0.0, 0.0),
+                 **kwargs: Any) -> "ScenarioBuilder":
+        return self.add_station(name, "base", position, **kwargs)
+
+    # ---------------------------------------------------------------- links
+    def link(self, a: str, b: str, symmetric: bool = True) -> "ScenarioBuilder":
+        """Declare that ``a`` and ``b`` are in range (graph medium only)."""
+        self._links.append((a, b, symmetric))
+        return self
+
+    def clique(self, *names: str) -> "ScenarioBuilder":
+        """Declare a set of mutually in-range stations (one cell)."""
+        members = list(names)
+        for i, a in enumerate(members):
+            for b in members[i + 1:]:
+                self.link(a, b)
+        return self
+
+    # -------------------------------------------------------------- traffic
+    def udp(
+        self,
+        src: str,
+        dst: str,
+        rate_pps: float,
+        stream_id: Optional[str] = None,
+        **kwargs: Any,
+    ) -> str:
+        """Declare a UDP stream; returns its id (default ``"src-dst"``)."""
+        stream_id = stream_id or f"{src}-{dst}"
+        self._streams.append(("udp", dict(src=src, dst=dst, rate_pps=rate_pps,
+                                          stream_id=stream_id, **kwargs)))
+        return stream_id
+
+    def tcp(
+        self,
+        src: str,
+        dst: str,
+        rate_pps: float,
+        stream_id: Optional[str] = None,
+        **kwargs: Any,
+    ) -> str:
+        """Declare a TCP stream; returns its id (default ``"src-dst"``)."""
+        stream_id = stream_id or f"{src}-{dst}"
+        self._streams.append(("tcp", dict(src=src, dst=dst, rate_pps=rate_pps,
+                                          stream_id=stream_id, **kwargs)))
+        return stream_id
+
+    # ------------------------------------------------------- noise & events
+    def noise(self, model: PacketErrorModel) -> "ScenarioBuilder":
+        """Attach a packet-error model to the medium."""
+        self._noise.append(model)
+        return self
+
+    def at(self, time: float, action: Callable[[Scenario], None]) -> "ScenarioBuilder":
+        """Schedule ``action(scenario)`` at simulated ``time`` (mobility,
+        power changes, reconfiguration)."""
+        self._events.append((time, action))
+        return self
+
+    def power_off_at(self, name: str, time: float) -> "ScenarioBuilder":
+        """Schedule a station power-off (Figure 9)."""
+        return self.at(time, lambda scenario: scenario.station(name).power_off())
+
+    # ----------------------------------------------------------------- build
+    def _make_mac(
+        self, sim: Simulator, medium: Medium, spec: _StationSpec, timing: MacTiming
+    ) -> BaseMac:
+        protocol = spec.protocol or self.protocol
+        config = spec.config if spec.config is not None else self.config
+        if protocol == "macaw":
+            return MacawMac(
+                sim, medium, spec.name, position=spec.position,
+                config=config if config is not None else MACAW_CONFIG,
+                timing=timing, queue_capacity=self.queue_capacity,
+            )
+        if protocol == "maca":
+            # Imported here: repro.mac deliberately does not import maca at
+            # package level (see repro/mac/__init__.py).
+            from repro.mac.maca import MacaMac
+
+            return MacaMac(
+                sim, medium, spec.name, position=spec.position,
+                config=config if config is not None else MACA_CONFIG,
+                timing=timing, queue_capacity=self.queue_capacity,
+            )
+        if protocol == "csma":
+            return CsmaMac(
+                sim, medium, spec.name, position=spec.position,
+                config=config if config is not None else CsmaConfig(),
+                timing=timing, queue_capacity=self.queue_capacity,
+            )
+        if protocol == "polling":
+            from repro.mac.polling import (
+                PollingBaseMac,
+                PollingConfig,
+                PollingPadMac,
+            )
+
+            cls = PollingBaseMac if spec.kind == "base" else PollingPadMac
+            return cls(
+                sim, medium, spec.name, position=spec.position,
+                config=config if config is not None else PollingConfig(),
+                timing=timing, queue_capacity=self.queue_capacity,
+            )
+        raise ValueError(f"unknown protocol {protocol!r}")
+
+    def build(self) -> Scenario:
+        """Materialize the scenario (idempotent: each call builds afresh)."""
+        sim = Simulator(seed=self.seed, trace=Trace(enabled=self.trace))
+        if self.medium_kind == "graph":
+            medium: Medium = GraphMedium(sim, bitrate_bps=self.bitrate_bps)
+        else:
+            medium = GridMedium(sim, bitrate_bps=self.bitrate_bps, **self.grid_kwargs)
+        recorder = FlowRecorder()
+        scenario = Scenario(sim, medium, recorder)
+        timing = self.timing if self.timing is not None else MacTiming(
+            bitrate_bps=self.bitrate_bps
+        )
+
+        for spec in self._stations:
+            mac = self._make_mac(sim, medium, spec, timing)
+            scenario.stations[spec.name] = Station(spec.name, spec.kind, mac, recorder)
+
+        if self._links and self.medium_kind != "graph":
+            raise ValueError("explicit links require the graph medium")
+        if isinstance(medium, GraphMedium):
+            for a, b, symmetric in self._links:
+                medium.set_link(
+                    scenario.stations[a].mac, scenario.stations[b].mac, True, symmetric
+                )
+
+        for model in self._noise:
+            medium.add_noise_model(model)
+
+        # Polling cells: each polling base learns the pads in its range.
+        from repro.mac.polling import PollingBaseMac, PollingPadMac
+
+        for station in scenario.stations.values():
+            mac = station.mac
+            if not isinstance(mac, PollingBaseMac):
+                continue
+            for other in scenario.stations.values():
+                if isinstance(other.mac, PollingPadMac) and medium.in_range(
+                    mac, other.mac
+                ):
+                    mac.register_pad(other.name)
+
+        for kind, params in self._streams:
+            src = scenario.stations[params["src"]]
+            dst = scenario.stations[params["dst"]]
+            stream_id = params["stream_id"]
+            extra = {
+                k: v for k, v in params.items()
+                if k not in ("src", "dst", "stream_id", "rate_pps")
+            }
+            if kind == "udp":
+                stream: Any = UdpStream(
+                    sim, src.mac, dst.mac, stream_id, params["rate_pps"], **extra
+                )
+            else:
+                stream = TcpStream(
+                    sim, src.dispatcher, dst.dispatcher, stream_id,
+                    params["rate_pps"], recorder=recorder, **extra
+                )
+            scenario.streams[stream_id] = stream
+
+        for time, action in self._events:
+            sim.at(time, action, scenario)
+        return scenario

@@ -1,0 +1,52 @@
+"""Stations: pads and base stations.
+
+"We will use the term station to refer to both pads and base stations"
+(§2.1).  A :class:`Station` bundles a MAC entity with its delivery
+dispatcher and exposes the operations scenarios need: power control and
+(for mobility) repositioning.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.mac.base import BaseMac
+from repro.net.sink import Dispatcher, FlowRecorder
+
+#: Station kinds (§2.1): ceiling-mounted base stations and portable pads.
+KINDS = ("pad", "base")
+
+
+class Station:
+    """One radio-equipped device."""
+
+    def __init__(self, name: str, kind: str, mac: BaseMac, recorder: FlowRecorder) -> None:
+        if kind not in KINDS:
+            raise ValueError(f"kind must be one of {KINDS}, got {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.mac = mac
+        self.dispatcher = Dispatcher(mac, recorder)
+
+    @property
+    def position(self) -> Tuple[float, float, float]:
+        return self.mac.position
+
+    @position.setter
+    def position(self, value: Tuple[float, float, float]) -> None:
+        """Move the station (read by the grid medium at each transmission)."""
+        self.mac.position = value
+
+    @property
+    def powered(self) -> bool:
+        return self.mac.powered
+
+    def power_off(self) -> None:
+        """Switch the radio off (Figure 9's disappearing pad)."""
+        self.mac.power_off()
+
+    def power_on(self) -> None:
+        self.mac.power_on()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Station({self.name!r}, {self.kind}, powered={self.powered})"

@@ -1,0 +1,52 @@
+"""End-to-end delay accounting."""
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import delay_percentiles
+from repro.net.sink import FlowRecorder
+from repro.topo.figures import fig3_six_pads, single_stream_cell
+
+
+def test_delay_percentiles_math():
+    rec = FlowRecorder()
+    for i in range(100):
+        rec.record("s", float(i), 512, created=float(i) - (i % 10) / 100.0)
+    result = delay_percentiles(rec, "s", 0.0, 100.0, percentiles=(50.0, 99.0))
+    assert 0.0 <= result[50.0] <= 0.09
+    assert result[99.0] <= 0.09 + 1e-9
+    assert result[50.0] <= result[99.0]
+
+
+def test_delay_percentiles_empty_window_raises():
+    rec = FlowRecorder()
+    with pytest.raises(ValueError):
+        delay_percentiles(rec, "s", 0.0, 1.0)
+
+
+def test_records_without_created_are_nan_and_skipped():
+    rec = FlowRecorder()
+    rec.record("s", 1.0, 512)                 # no created: NaN delay
+    rec.record("s", 2.0, 512, created=1.9)
+    delays = rec.flow("s").delays_between(0.0, 3.0)
+    assert delays == [pytest.approx(0.1)]
+    assert math.isnan(rec.flow("s").delays[0])
+
+
+def test_uncontended_udp_delay_is_one_exchange():
+    scenario = single_stream_cell(protocol="macaw", seed=3, rate_pps=16.0)
+    scenario = scenario.build().run(30.0)
+    result = delay_percentiles(scenario.recorder, "P-B", 5.0, 30.0)
+    # One MACAW exchange is ~21 ms; an unloaded stream should deliver
+    # within a few exchange times even at the tail.
+    assert result[50.0] < 0.05
+    assert result[99.0] < 0.2
+
+
+def test_contention_inflates_delay():
+    light = single_stream_cell(protocol="macaw", seed=3, rate_pps=16.0).build().run(40.0)
+    heavy = fig3_six_pads(protocol="macaw", seed=3).build().run(40.0)
+    light_p50 = delay_percentiles(light.recorder, "P-B", 5.0, 40.0)[50.0]
+    heavy_p50 = delay_percentiles(heavy.recorder, "P1-B", 5.0, 40.0)[50.0]
+    assert heavy_p50 > 2 * light_p50

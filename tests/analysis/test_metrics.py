@@ -1,0 +1,81 @@
+"""Fairness and utilization metrics."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    channel_utilization,
+    jain_fairness,
+    max_spread,
+    per_cell_fairness,
+    throughput_timeseries,
+    total_throughput,
+)
+from repro.net.sink import FlowRecorder
+
+
+def test_jain_perfectly_fair():
+    assert jain_fairness([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+
+def test_jain_single_hog():
+    # One of n getting everything: index = 1/n.
+    assert jain_fairness([10.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+
+def test_jain_all_zero_defined_as_fair():
+    assert jain_fairness([0.0, 0.0]) == 1.0
+
+
+def test_jain_rejects_bad_input():
+    with pytest.raises(ValueError):
+        jain_fairness([])
+    with pytest.raises(ValueError):
+        jain_fairness([1.0, -2.0])
+
+
+def test_max_spread():
+    assert max_spread([23.82, 23.32]) == pytest.approx(0.5)
+    assert max_spread([4.0]) == 0.0
+    with pytest.raises(ValueError):
+        max_spread([])
+
+
+def test_total_throughput():
+    assert total_throughput([1.0, 2.0, 3.0]) == 6.0
+
+
+def test_channel_utilization_matches_paper_quote():
+    # §3.5: "MACA achieves a data rate of roughly 217 kbps, which is 84%
+    # channel capacity" at 53.04 pps.
+    assert channel_utilization(53.04) == pytest.approx(0.848, abs=0.01)
+    assert channel_utilization(49.07) == pytest.approx(0.785, abs=0.01)
+
+
+def test_channel_utilization_validation():
+    with pytest.raises(ValueError):
+        channel_utilization(-1.0)
+    with pytest.raises(ValueError):
+        channel_utilization(1.0, packet_bytes=0)
+
+
+def test_throughput_timeseries_bins():
+    recorder = FlowRecorder()
+    for t in (0.5, 1.5, 1.6, 2.5):
+        recorder.record("s", t, 512)
+    series = throughput_timeseries(recorder, "s", 0.0, 3.0, bin_s=1.0)
+    assert series == [(0.0, 1.0), (1.0, 2.0), (2.0, 1.0)]
+
+
+def test_throughput_timeseries_validation():
+    recorder = FlowRecorder()
+    with pytest.raises(ValueError):
+        throughput_timeseries(recorder, "s", 0.0, 1.0, bin_s=0.0)
+    with pytest.raises(ValueError):
+        throughput_timeseries(recorder, "s", 2.0, 1.0)
+
+
+def test_per_cell_fairness():
+    throughputs = {"a": 4.0, "b": 6.0, "c": 10.0}
+    cells = {"C1": ["a", "b"], "C2": ["c"], "C3": ["missing"]}
+    spreads = per_cell_fairness(throughputs, cells)
+    assert spreads == {"C1": 2.0, "C2": 0.0}

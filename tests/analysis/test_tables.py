@@ -1,0 +1,62 @@
+"""Table rendering."""
+
+import math
+
+import pytest
+
+from repro.analysis.tables import ComparisonTable, format_table
+
+
+def test_format_table_aligns_columns():
+    out = format_table(["stream", "pps"], [["P1-B", "23.82"], ["P2", "0.1"]])
+    lines = out.splitlines()
+    assert lines[0].startswith("stream")
+    assert len(lines) == 4  # header, rule, two rows
+    assert all(len(line) == len(lines[0]) for line in lines[2:])
+
+
+def test_format_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [["only-one"]])
+
+
+def make_table():
+    table = ComparisonTable("Table X")
+    table.add("MACA", "P1-B", 9.61, paper_value=9.61)
+    table.add("MACA", "P2-B", 2.45, paper_value=2.45)
+    table.add("MACAW", "P1-B", 3.45, paper_value=3.45)
+    table.add("MACAW", "P2-B", 3.84, paper_value=3.84)
+    return table
+
+
+def test_stream_order_preserved():
+    table = make_table()
+    assert table.stream_order == ["P1-B", "P2-B"]
+    assert table.variants() == ["MACA", "MACAW"]
+
+
+def test_value_and_totals():
+    table = make_table()
+    assert table.value("MACA", "P1-B") == 9.61
+    assert table.totals()["MACA"] == pytest.approx(12.06)
+
+
+def test_render_includes_paper_columns():
+    out = make_table().render()
+    assert "MACA (paper)" in out
+    assert "TOTAL" in out
+    assert "9.61" in out
+
+
+def test_render_can_hide_paper():
+    out = make_table().render(show_paper=False)
+    assert "(paper)" not in out
+
+
+def test_missing_cell_renders_nan():
+    table = ComparisonTable("t")
+    table.add("A", "x", 1.0)
+    table.add("B", "y", 2.0)
+    rendered = table.render()
+    assert "nan" in rendered
+    assert math.isnan(table.measured["A"].get("y", float("nan")))

@@ -1,0 +1,230 @@
+"""Backoff adjustment, copying, and per-destination estimation (§3.1, B.2)."""
+
+import pytest
+
+from repro.core.backoff import (
+    BackoffBook,
+    BinaryExponentialBackoff,
+    MildBackoff,
+    make_backoff,
+)
+from repro.core.config import maca_config, macaw_config
+from repro.mac.frames import FrameType, control_frame, data_frame
+
+
+# ------------------------------------------------------------- algorithms
+def test_beb_doubles_and_resets():
+    beb = BinaryExponentialBackoff(2, 64)
+    assert beb.increase(2) == 4
+    assert beb.increase(40) == 64  # clamped
+    assert beb.decrease(64) == 2   # reset to floor
+
+
+def test_mild_multiplies_and_decrements():
+    mild = MildBackoff(2, 64)
+    assert mild.increase(2) == 3.0
+    assert mild.increase(60) == 64  # clamped
+    assert mild.decrease(10) == 9
+    assert mild.decrease(2) == 2    # floor
+
+
+def test_mild_factor_parameter():
+    mild = MildBackoff(2, 64, factor=2.0)
+    assert mild.increase(4) == 8
+    with pytest.raises(ValueError):
+        MildBackoff(2, 64, factor=1.0)
+
+
+def test_factory():
+    assert isinstance(make_backoff("beb", 2, 64), BinaryExponentialBackoff)
+    assert isinstance(make_backoff("mild", 2, 64), MildBackoff)
+    with pytest.raises(ValueError):
+        make_backoff("aimd", 2, 64)
+
+
+def test_bounds_validation():
+    with pytest.raises(ValueError):
+        BinaryExponentialBackoff(0, 64)
+    with pytest.raises(ValueError):
+        MildBackoff(10, 5)
+
+
+# ------------------------------------------------------- single counter
+def single_book(**overrides):
+    return BackoffBook(maca_config(copy_backoff=True, **overrides))
+
+
+def test_single_counter_timeout_and_success():
+    book = BackoffBook(maca_config())
+    assert book.my_backoff == 2
+    book.on_timeout("B", 1)
+    assert book.my_backoff == 4
+    book.on_timeout("B", 2)
+    assert book.my_backoff == 8
+    book.on_success("B")
+    assert book.my_backoff == 2  # BEB reset
+
+
+def test_single_counter_contention_bound_ignores_dst():
+    book = BackoffBook(maca_config())
+    book.on_timeout("B", 1)
+    assert book.contention_backoff("B") == book.contention_backoff("C") == 4
+
+
+def test_simple_copy_includes_rts():
+    # §3.1's scheme copies from EVERY heard packet, RTS included.
+    book = single_book()
+    rts = control_frame(FrameType.RTS, "Q", "R", local_backoff=16.0)
+    book.on_frame_heard(rts, addressed_to_me=False)
+    assert book.my_backoff == 16.0
+
+
+def test_copy_disabled_ignores_headers():
+    book = BackoffBook(maca_config())  # copy off
+    frame = data_frame("Q", "R", 512, local_backoff=32.0)
+    book.on_frame_heard(frame, addressed_to_me=False)
+    assert book.my_backoff == 2
+
+
+def test_copy_clamps_to_bounds():
+    book = single_book()
+    frame = data_frame("Q", "R", 512, local_backoff=500.0)
+    book.on_frame_heard(frame, addressed_to_me=False)
+    assert book.my_backoff == 64
+
+
+# ------------------------------------------------------ per-destination
+def macaw_book():
+    return BackoffBook(macaw_config())
+
+
+def test_per_destination_copy_ignores_rts():
+    # B.2: "RTS packets are ignored because they may not carry the correct
+    # backoff values".
+    book = macaw_book()
+    rts = control_frame(FrameType.RTS, "Q", "R", local_backoff=30.0)
+    book.on_frame_heard(rts, addressed_to_me=False)
+    assert book.my_backoff == 2
+
+
+def test_overheard_non_rts_updates_ambient_and_estimates():
+    book = macaw_book()
+    frame = data_frame("Q", "R", 512, local_backoff=10.0, remote_backoff=20.0)
+    book.on_frame_heard(frame, addressed_to_me=False)
+    assert book.my_backoff == 10.0
+    assert book.remote("Q").remote == 10.0
+    assert book.remote("R").remote == 20.0
+
+
+def test_contention_backoff_sums_both_ends():
+    # Footnote 9: the two ends' values are combined by summing.
+    book = macaw_book()
+    frame = data_frame("Q", "R", 512, local_backoff=10.0, remote_backoff=20.0)
+    book.on_frame_heard(frame, addressed_to_me=False)
+    book.begin_attempt("Q")  # binds local = my_backoff (10)
+    assert book.contention_backoff("Q") == 10.0 + 10.0
+
+
+def test_transient_retry_pacing_does_not_mutate_estimates():
+    book = macaw_book()
+    before = book.contention_backoff("Q")
+    book.on_timeout("Q", 1)
+    book.on_timeout("Q", 2)
+    assert book.contention_backoff("Q") == before  # estimates unchanged
+    # ... but pending retries widen the draw transiently.
+    assert book.contention_backoff("Q", retries=3) == before + 3 * book.config.alpha
+
+
+def test_received_fresh_exchange_copies_authoritative_values():
+    book = macaw_book()
+    cts = control_frame(
+        FrameType.CTS, "Q", "me", local_backoff=12.0, remote_backoff=5.0, esn=0
+    )
+    book.on_frame_heard(cts, addressed_to_me=True)
+    entry = book.remote("Q")
+    assert entry.remote == 12.0
+    assert entry.local == 5.0
+    assert entry.seen_esn == 0
+
+
+def test_received_retransmission_infers_sender_side_congestion():
+    # A retransmitted RTS with an ESN we already saw means our CTS died:
+    # congestion at the *sender's* end, and the sum is conserved.
+    book = macaw_book()
+    first = control_frame(
+        FrameType.RTS, "Q", "me", local_backoff=10.0, remote_backoff=6.0, esn=3
+    )
+    book.on_frame_heard(first, addressed_to_me=True)
+    retry = control_frame(
+        FrameType.RTS, "Q", "me", local_backoff=10.0, remote_backoff=6.0,
+        esn=3, retry=True,
+    )
+    book.on_frame_heard(retry, addressed_to_me=True)
+    entry = book.remote("Q")
+    assert entry.remote == 10.0 + book.config.alpha
+    assert entry.local + entry.remote == pytest.approx(16.0)
+
+
+def test_first_sighting_already_retried_raises_own_estimate():
+    # §3.4: an RTS lost en route means congestion at the receiver (us).
+    book = macaw_book()
+    ambient = book.my_backoff
+    retry = control_frame(
+        FrameType.RTS, "Q", "me", local_backoff=4.0, esn=9, retry=True
+    )
+    book.on_frame_heard(retry, addressed_to_me=True)
+    assert book.my_backoff == ambient + book.config.alpha
+
+
+def test_success_relaxes_both_ends():
+    book = macaw_book()
+    frame = data_frame("Q", "R", 512, local_backoff=10.0, remote_backoff=10.0)
+    book.on_frame_heard(frame, addressed_to_me=False)  # remote(Q) = 10, my = 10
+    book.on_success("Q")
+    assert book.my_backoff == 9.0       # MILD decrement
+    assert book.remote("Q").remote == 9.0
+
+
+def test_give_up_pins_until_station_heard_again():
+    book = macaw_book()
+    book.on_give_up("Q")
+    entry = book.remote("Q")
+    assert entry.gave_up
+    assert entry.local == book.config.bo_max
+    assert entry.remote is None
+    # The pin survives new attempts...
+    book.begin_attempt("Q")
+    assert book.remote("Q").local == book.config.bo_max
+    # ...and is not broadcast as our congestion.
+    local_field, _ = book.fields_for("Q")
+    assert local_field == book.my_backoff
+    # Hearing the station again clears it.
+    cts = control_frame(FrameType.CTS, "Q", "me", local_backoff=3.0, esn=0)
+    book.on_frame_heard(cts, addressed_to_me=True)
+    assert not book.remote("Q").gave_up
+
+
+def test_give_up_single_mode_raises_counter():
+    book = BackoffBook(maca_config())
+    book.on_give_up("Q")
+    assert book.my_backoff == 4
+
+
+def test_multicast_frames_do_not_create_multicast_remote():
+    book = macaw_book()
+    frame = data_frame("Q", "*", 512, local_backoff=10.0, remote_backoff=20.0)
+    book.on_frame_heard(frame, addressed_to_me=False)
+    assert "*" not in book.known_remotes()
+    assert book.my_backoff == 10.0
+
+
+def test_fields_for_single_mode():
+    book = BackoffBook(maca_config(copy_backoff=True))
+    local, remote = book.fields_for("Q")
+    assert local == book.my_backoff
+    assert remote is None
+
+
+def test_contention_backoff_multicast_uses_plain_counter():
+    book = macaw_book()
+    assert book.contention_backoff(None) == book.my_backoff

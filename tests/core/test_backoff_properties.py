@@ -1,0 +1,105 @@
+"""Property-based tests: backoff state stays sane under arbitrary drives."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.backoff import BackoffBook, BinaryExponentialBackoff, MildBackoff
+from repro.core.config import maca_config, macaw_config
+from repro.mac.frames import FrameType, control_frame, data_frame
+
+# An arbitrary protocol-event drive: (event kind, station index, value).
+events = st.lists(
+    st.tuples(
+        st.sampled_from(["attempt", "success", "timeout", "give_up",
+                         "hear_data", "hear_cts", "hear_rts", "recv_cts",
+                         "recv_rts_retry"]),
+        st.integers(min_value=0, max_value=3),
+        st.floats(min_value=0.0, max_value=200.0, allow_nan=False),
+    ),
+    max_size=80,
+)
+
+STATIONS = ["Q0", "Q1", "Q2", "Q3"]
+
+
+def drive(book, plan):
+    esn = 0
+    for kind, idx, value in plan:
+        station = STATIONS[idx]
+        if kind == "attempt":
+            book.begin_attempt(station)
+        elif kind == "success":
+            book.on_success(station)
+        elif kind == "timeout":
+            book.on_timeout(station, retry_count=1 + int(value) % 8)
+        elif kind == "give_up":
+            book.on_give_up(station)
+        elif kind == "hear_data":
+            frame = data_frame(station, "R", 512, local_backoff=value,
+                               remote_backoff=value / 2)
+            book.on_frame_heard(frame, addressed_to_me=False)
+        elif kind == "hear_cts":
+            frame = control_frame(FrameType.CTS, station, "R",
+                                  local_backoff=value)
+            book.on_frame_heard(frame, addressed_to_me=False)
+        elif kind == "hear_rts":
+            frame = control_frame(FrameType.RTS, station, "R",
+                                  local_backoff=value)
+            book.on_frame_heard(frame, addressed_to_me=False)
+        elif kind == "recv_cts":
+            frame = control_frame(FrameType.CTS, station, "me",
+                                  local_backoff=value, remote_backoff=value / 3,
+                                  esn=esn)
+            book.on_frame_heard(frame, addressed_to_me=True)
+            esn += 1
+        elif kind == "recv_rts_retry":
+            frame = control_frame(FrameType.RTS, station, "me",
+                                  local_backoff=value, esn=esn, retry=True)
+            book.on_frame_heard(frame, addressed_to_me=True)
+
+
+@given(events)
+@settings(max_examples=150, deadline=None)
+def test_per_destination_book_invariants(plan):
+    config = macaw_config()
+    book = BackoffBook(config)
+    drive(book, plan)
+    assert config.bo_min <= book.my_backoff <= config.bo_max
+    for entry in book.known_remotes().values():
+        assert entry.local <= config.bo_max
+        if entry.remote is not None:
+            assert 0 <= entry.remote <= config.bo_max
+    for station in STATIONS:
+        bound = book.contention_backoff(station)
+        assert config.bo_min <= bound <= 2 * config.bo_max
+        widened = book.contention_backoff(station, retries=8)
+        assert widened >= bound or widened == 2 * config.bo_max
+
+
+@given(events)
+@settings(max_examples=150, deadline=None)
+def test_single_counter_book_invariants(plan):
+    config = maca_config(copy_backoff=True)
+    book = BackoffBook(config)
+    drive(book, plan)
+    assert config.bo_min <= book.my_backoff <= config.bo_max
+
+
+@given(st.floats(min_value=1.0, max_value=64.0, allow_nan=False),
+       st.integers(min_value=0, max_value=30))
+@settings(max_examples=200, deadline=None)
+def test_algorithms_converge_within_bounds(start, steps):
+    for algo in (BinaryExponentialBackoff(2, 64), MildBackoff(2, 64)):
+        value = algo.clamp(start)
+        for i in range(steps):
+            value = algo.increase(value) if i % 2 else algo.decrease(value)
+            assert 2 <= value <= 64
+
+
+@given(st.floats(min_value=2.0, max_value=64.0))
+@settings(max_examples=100, deadline=None)
+def test_mild_is_gentler_than_beb(value):
+    beb = BinaryExponentialBackoff(2, 64)
+    mild = MildBackoff(2, 64)
+    assert mild.increase(value) <= beb.increase(value)
+    assert mild.decrease(value) >= beb.decrease(value)

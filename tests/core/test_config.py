@@ -1,0 +1,70 @@
+"""Protocol configuration invariants."""
+
+import pytest
+
+from repro.core.config import (
+    MACA_CONFIG,
+    MACAW_CONFIG,
+    ProtocolConfig,
+    maca_config,
+    macaw_config,
+)
+
+
+def test_maca_defaults_match_appendix_a():
+    assert not MACA_CONFIG.use_ack
+    assert not MACA_CONFIG.use_ds
+    assert not MACA_CONFIG.use_rrts
+    assert MACA_CONFIG.backoff == "beb"
+    assert not MACA_CONFIG.copy_backoff
+    assert not MACA_CONFIG.per_destination
+    assert not MACA_CONFIG.multi_queue
+
+
+def test_macaw_defaults_match_appendix_b():
+    assert MACAW_CONFIG.use_ack
+    assert MACAW_CONFIG.use_ds
+    assert MACAW_CONFIG.use_rrts
+    assert MACAW_CONFIG.backoff == "mild"
+    assert MACAW_CONFIG.copy_backoff
+    assert MACAW_CONFIG.per_destination
+    assert MACAW_CONFIG.multi_queue
+
+
+def test_paper_backoff_bounds():
+    assert MACAW_CONFIG.bo_min == 2.0
+    assert MACAW_CONFIG.bo_max == 64.0
+
+
+def test_but_returns_modified_copy():
+    config = macaw_config()
+    changed = config.but(use_ds=False)
+    assert not changed.use_ds
+    assert config.use_ds  # original untouched
+    assert changed.use_ack
+
+
+def test_factory_overrides():
+    assert maca_config(copy_backoff=True).copy_backoff
+    assert macaw_config(use_rrts=False).use_rrts is False
+    assert macaw_config() is MACAW_CONFIG
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ProtocolConfig(backoff="exponential")
+    with pytest.raises(ValueError):
+        ProtocolConfig(bo_min=0)
+    with pytest.raises(ValueError):
+        ProtocolConfig(bo_min=10, bo_max=5)
+    with pytest.raises(ValueError):
+        ProtocolConfig(max_retries=0)
+    with pytest.raises(ValueError):
+        ProtocolConfig(alpha=-1)
+    with pytest.raises(ValueError):
+        ProtocolConfig(contention_jitter=1.5)
+
+
+def test_frozen():
+    with pytest.raises(Exception):
+        MACAW_CONFIG.use_ack = False  # type: ignore[misc]

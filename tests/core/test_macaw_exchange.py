@@ -1,0 +1,271 @@
+"""MACAW state machine: exchanges, retries, dedup, deferral, RRTS."""
+
+import pytest
+
+from repro.core.config import maca_config, macaw_config
+from repro.core.macaw import MacawMac
+from repro.mac.base import MacState
+from repro.mac.frames import FrameType, MULTICAST
+from repro.net.packets import NetPacket
+from repro.phy.graph_medium import GraphMedium
+from repro.phy.noise import LinkErrorModel, TimeWindowErrorModel
+from repro.sim.kernel import Simulator
+from repro.sim.trace import Trace
+
+
+def build(names, config=macaw_config(), seed=3, links="clique"):
+    sim = Simulator(seed=seed, trace=Trace(enabled=True))
+    medium = GraphMedium(sim)
+    macs = {name: MacawMac(sim, medium, name, config=config) for name in names}
+    if links == "clique":
+        medium.connect_clique(macs.values())
+    return sim, medium, macs
+
+
+def packet(stream="s", seq=0, size=512):
+    return NetPacket(stream=stream, kind="udp", seq=seq, size_bytes=size, created=0.0)
+
+
+def sent_kinds(sim):
+    """Sequence of '<station>:<KIND>' for every frame put on the air."""
+    return [
+        f"{r.station}:{r.detail['frame'].split()[0]}"
+        for r in sim.trace.select(category="send")
+    ]
+
+
+def deliveries(mac):
+    out = []
+    mac.on_deliver = lambda payload, src: out.append((payload, src))
+    return out
+
+
+# ----------------------------------------------------------- basic exchange
+def test_full_macaw_exchange_sequence():
+    sim, medium, macs = build(["A", "B"])
+    got = deliveries(macs["B"])
+    payload = packet()
+    macs["A"].enqueue(payload, "B", 512)
+    sim.run(until=1.0)
+    assert sent_kinds(sim)[:5] == ["A:RTS", "B:CTS", "A:DS", "A:DATA", "B:ACK"]
+    assert got == [(payload, "A")]
+    assert macs["A"].stats.successes == 1
+    assert macs["A"].state is MacState.IDLE
+    assert macs["B"].state is MacState.IDLE
+
+
+def test_maca_exchange_has_no_ds_or_ack():
+    sim, medium, macs = build(["A", "B"], config=maca_config())
+    got = deliveries(macs["B"])
+    macs["A"].enqueue(packet(), "B", 512)
+    sim.run(until=1.0)
+    assert sent_kinds(sim) == ["A:RTS", "B:CTS", "A:DATA"]
+    assert len(got) == 1
+
+
+def test_sender_notified_on_success():
+    sim, medium, macs = build(["A", "B"])
+    sent = []
+    macs["A"].on_sent = lambda payload, dst: sent.append((payload, dst))
+    payload = packet()
+    macs["A"].enqueue(payload, "B", 512)
+    sim.run(until=1.0)
+    assert sent == [(payload, "B")]
+
+
+def test_back_to_back_packets_all_delivered():
+    sim, medium, macs = build(["A", "B"])
+    got = deliveries(macs["B"])
+    for i in range(10):
+        macs["A"].enqueue(packet(seq=i), "B", 512)
+    sim.run(until=2.0)
+    assert [p.seq for p, _ in got] == list(range(10))
+
+
+# ------------------------------------------------------------------ retries
+def test_lost_cts_triggers_retry_and_recovery():
+    sim, medium, macs = build(["A", "B"])
+    got = deliveries(macs["B"])
+    noise = TimeWindowErrorModel(1.0, start=0.0, end=0.05, receivers=["A"])
+    medium.add_noise_model(noise)
+    macs["A"].enqueue(packet(), "B", 512)
+    sim.run(until=2.0)
+    assert len(got) == 1
+    assert macs["A"].stats.cts_timeouts >= 1
+
+
+def test_lost_ack_resends_ack_not_data():
+    """Control rule 7: an RTS for already-ACKed data draws the ACK again."""
+
+    class AckKiller(LinkErrorModel):
+        def applies_to(self, sim, tx, receiver):
+            return (
+                tx.frame.kind is FrameType.ACK
+                and super().applies_to(sim, tx, receiver)
+            )
+
+    sim, medium, macs = build(["A", "B"])
+    got = deliveries(macs["B"])
+    noise = AckKiller([("B", "A")], 1.0)
+    medium.add_noise_model(noise)
+    macs["A"].enqueue(packet(), "B", 512)
+    sim.run(until=0.1)   # first DATA got through; ACK destroyed
+    assert len(got) == 1
+    noise.error_rate = 0.0
+    sim.run(until=2.0)
+    kinds = sent_kinds(sim)
+    # The retransmitted RTS is answered with an ACK, not a CTS+DATA rerun.
+    assert kinds.count("A:DATA") == 1
+    assert kinds.count("B:ACK") >= 2
+    assert macs["B"].stats.duplicates == 0
+    assert len(got) == 1
+    assert macs["A"].stats.successes == 1
+
+
+def test_unreachable_destination_drops_after_max_retries():
+    config = macaw_config(max_retries=3)
+    sim, medium, macs = build(["A", "B"], config=config, links=None)
+    drops = []
+    macs["A"].on_drop = lambda payload, dst: drops.append(payload)
+    macs["A"].enqueue(packet(), "B", 512)
+    sim.run(until=5.0)
+    assert len(drops) == 1
+    assert macs["A"].queue_len() == 0
+    assert macs["A"].backoff.remote("B").gave_up
+
+
+# ----------------------------------------------------------------- deferral
+def test_overhearing_cts_defers_for_data_duration():
+    sim, medium, macs = build(["A", "B", "C"])
+    macs["A"].enqueue(packet(), "B", 512)
+    # Give C a packet mid-exchange; it must not transmit into A's DATA.
+    sim.at(0.004, lambda: macs["C"].enqueue(packet("c"), "B", 512))
+    sim.run(until=1.0)
+    records = sim.trace.select(category="send")
+    a_data = next(r for r in records if r.station == "A" and "DATA" in r.detail["frame"])
+    data_end = a_data.time + 512 * 8 / 256_000
+    c_sends = [r for r in records if r.station == "C"]
+    assert c_sends, "C should eventually transmit"
+    assert all(r.time >= data_end for r in c_sends)
+    assert macs["C"].stats.successes == 1
+
+
+def test_quiet_station_state_label():
+    sim, medium, macs = build(["A", "B", "C"])
+    macs["A"].enqueue(packet(), "B", 512)
+    # Run until A's DATA is in flight: C overheard the CTS and is deferring.
+    records = []
+    sim.run(until=0.012)
+    assert macs["C"].state is MacState.QUIET
+    sim.run(until=1.0)
+    assert macs["C"].state is MacState.IDLE
+
+
+# --------------------------------------------------------------------- RRTS
+def test_rrts_flow_for_deferred_receiver():
+    """B1→P1 while P1 defers to a neighbouring *downlink* exchange (the
+    Figure 6 configuration): P1 hears P2's CTS and defers, receives B1's
+    RTS cleanly mid-defer (B2's data is inaudible at P1), sends RRTS at
+    the next contention period, and B1 answers with an immediate RTS
+    (§3.3.3, rules 9/13)."""
+    sim, medium, macs = build(["B1", "P1", "P2", "B2"], links=None)
+    medium.set_link(macs["P1"], macs["B1"])
+    medium.set_link(macs["P2"], macs["B2"])
+    medium.set_link(macs["P1"], macs["P2"])
+    got = deliveries(macs["P1"])
+    # Saturating downlink B2→P2; P1 overhears P2's CTS/ACK and defers.
+    for i in range(4):
+        macs["B2"].enqueue(packet("x", i), "P2", 512)
+    sim.run(until=0.006)
+    macs["B1"].enqueue(packet("b"), "P1", 512)
+    sim.run(until=3.0)
+    kinds = sent_kinds(sim)
+    assert "P1:RRTS" in kinds
+    assert len(got) == 1
+    # The RRTS drew an RTS from B1.
+    rrts_index = kinds.index("P1:RRTS")
+    assert "B1:RTS" in kinds[rrts_index + 1:]
+
+
+def test_rrts_disabled_ignores_deferred_rts():
+    config = macaw_config(use_rrts=False)
+    sim, medium, macs = build(["B1", "P1", "P2", "B2"], config=config, links=None)
+    medium.set_link(macs["P1"], macs["B1"])
+    medium.set_link(macs["P2"], macs["B2"])
+    medium.set_link(macs["P1"], macs["P2"])
+    for i in range(3):
+        macs["P2"].enqueue(packet("x", i), "B2", 512)
+    sim.run(until=0.004)
+    macs["B1"].enqueue(packet("b"), "P1", 512)
+    sim.run(until=3.0)
+    assert "P1:RRTS" not in sent_kinds(sim)
+
+
+# ---------------------------------------------------------------- multicast
+def test_multicast_rts_data_reaches_all_receivers():
+    sim, medium, macs = build(["S", "R1", "R2"])
+    got1 = deliveries(macs["R1"])
+    got2 = deliveries(macs["R2"])
+    payload = packet("m")
+    macs["S"].enqueue(payload, MULTICAST, 512)
+    sim.run(until=1.0)
+    assert sent_kinds(sim) == ["S:RTS", "S:DATA"]  # no CTS, DS, or ACK
+    assert got1 == [(payload, "S")]
+    assert got2 == [(payload, "S")]
+    assert macs["S"].stats.successes == 1
+
+
+def test_multicast_rts_defers_receivers_for_data_length():
+    sim, medium, macs = build(["S", "R1", "R2"])
+    macs["S"].enqueue(packet("m"), MULTICAST, 512)
+    sim.at(0.002, lambda: macs["R1"].enqueue(packet("r"), "R2", 512))
+    sim.run(until=1.0)
+    records = sim.trace.select(category="send")
+    s_data = next(r for r in records if r.station == "S" and "DATA" in r.detail["frame"])
+    data_end = s_data.time + 512 * 8 / 256_000
+    r1_sends = [r for r in records if r.station == "R1"]
+    assert r1_sends and all(r.time >= data_end for r in r1_sends)
+
+
+# ------------------------------------------------------------------- power
+def test_power_off_station_stops_participating():
+    sim, medium, macs = build(["A", "B"])
+    macs["A"].enqueue(packet(), "B", 512)
+    sim.run(until=1.0)
+    macs["B"].power_off()
+    macs["A"].enqueue(packet(seq=1), "B", 512)
+    sim.run(until=5.0)
+    assert macs["A"].stats.drops == 1
+
+
+def test_power_cycle_restores_service():
+    sim, medium, macs = build(["A", "B"])
+    got = deliveries(macs["B"])
+    macs["B"].power_off()
+    macs["B"].power_on()
+    medium.set_link(macs["A"], macs["B"])  # detach cleared links
+    macs["A"].enqueue(packet(), "B", 512)
+    sim.run(until=1.0)
+    assert len(got) == 1
+
+
+# ----------------------------------------------------------- esn / headers
+def test_esn_increments_per_stream():
+    sim, medium, macs = build(["A", "B", "C"])
+    for i in range(2):
+        macs["A"].enqueue(packet("b", i), "B", 512)
+        macs["A"].enqueue(packet("c", i), "C", 512)
+    sim.run(until=2.0)
+    assert macs["A"]._next_esn == {"B": 2, "C": 2}
+
+
+def test_frames_carry_backoff_headers():
+    sim, medium, macs = build(["A", "B"])
+    macs["A"].enqueue(packet(), "B", 512)
+    captured = []
+    original = macs["B"].on_frame
+    macs["B"].on_frame = lambda frame, clean: (captured.append(frame), original(frame, clean))
+    sim.run(until=1.0)
+    rts = next(f for f in captured if f.kind is FrameType.RTS)
+    assert rts.local_backoff is not None
+    assert rts.esn == 0

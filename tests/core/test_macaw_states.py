@@ -1,0 +1,148 @@
+"""State-machine edge cases the appendix rules pin down."""
+
+import pytest
+
+from repro.core.config import maca_config, macaw_config
+from repro.mac.base import MacState
+from repro.mac.frames import FrameType
+from repro.phy.noise import LinkErrorModel
+from tests.core.test_macaw_exchange import build, deliveries, packet, sent_kinds
+
+
+def test_rule8_contending_station_answers_rts():
+    """Control rule 8: a station whose own counter is pending answers an
+    incoming RTS with a CTS and resumes its own business afterwards."""
+    sim, medium, macs = build(["A", "B"])
+    got_a = deliveries(macs["A"])
+    got_b = deliveries(macs["B"])
+    # Both queue at once: one will catch the other in CONTEND.
+    macs["A"].enqueue(packet("a"), "B", 512)
+    macs["B"].enqueue(packet("b"), "A", 512)
+    sim.run(until=2.0)
+    assert len(got_a) == 1
+    assert len(got_b) == 1
+
+
+def test_wfcts_timeout_increments_stats_and_retries():
+    sim, medium, macs = build(["A", "B"])
+    medium.set_link(macs["A"], macs["B"], False)  # sever the link
+    macs["A"].enqueue(packet(), "B", 512)
+    sim.run(until=2.0)
+    assert macs["A"].stats.cts_timeouts >= 1
+    assert macs["A"].stats.drops == 1
+    assert macs["A"].state is MacState.IDLE
+
+
+def test_receiver_timeout_recovers_to_idle():
+    """CTS sent but the DS/DATA never arrives: the receiver must not hang."""
+
+    class DsKiller(LinkErrorModel):
+        def applies_to(self, sim, tx, receiver):
+            return tx.frame.kind in (FrameType.DS, FrameType.DATA) and (
+                super().applies_to(sim, tx, receiver)
+            )
+
+    sim, medium, macs = build(["A", "B"])
+    noise = DsKiller([("A", "B")], 1.0)
+    medium.add_noise_model(noise)
+    macs["A"].enqueue(packet(), "B", 512)
+    sim.run(until=0.06)
+    assert macs["B"].state in (MacState.IDLE, MacState.WFDS, MacState.WFDATA,
+                               MacState.QUIET)
+    noise.error_rate = 0.0
+    sim.run(until=3.0)
+    assert macs["B"].state is MacState.IDLE
+    assert macs["A"].stats.successes == 1
+
+
+def test_overheard_rrts_defers_two_slots():
+    """§3.3.3: stations overhearing an RRTS defer two slot times."""
+    sim, medium, macs = build(["B1", "P1", "P2", "B2"], links=None)
+    medium.set_link(macs["P1"], macs["B1"])
+    medium.set_link(macs["P2"], macs["B2"])
+    medium.set_link(macs["P1"], macs["P2"])
+    # Downlink saturates cell 2, P1 pends an RRTS for B1.
+    for i in range(3):
+        macs["B2"].enqueue(packet("x", i), "P2", 512)
+    sim.run(until=0.006)
+    macs["B1"].enqueue(packet("b"), "P1", 512)
+    sim.run(until=3.0)
+    kinds = sent_kinds(sim)
+    assert "P1:RRTS" in kinds  # precondition for the defer to matter
+    # P2 heard the RRTS cleanly at least once and kept functioning.
+    assert macs["B2"].stats.successes > 0
+    assert macs["B1"].stats.successes > 0
+
+
+def test_cts_from_wrong_station_is_ignored():
+    sim, medium, macs = build(["A", "B", "C"])
+    macs["A"].enqueue(packet("a"), "B", 512)
+    macs["C"].enqueue(packet("c"), "B", 512)
+    sim.run(until=3.0)
+    # Both exchanges complete despite both CTSs being audible to both
+    # senders (addressing/esn checks filter them).
+    assert macs["A"].stats.successes == 1
+    assert macs["C"].stats.successes == 1
+
+
+def test_maca_station_ignores_rrts_and_nack():
+    """Feature-off configurations must not react to extension frames."""
+    sim, medium, macs = build(["A", "B"], config=maca_config())
+    from repro.mac.frames import control_frame
+
+    macs["B"].enqueue(packet("b"), "A", 512)
+    # Inject an RRTS at A addressed to B — B (MACA) must ignore it.
+    sim.run(until=1.0)
+    before = macs["B"].stats.sent.copy()
+    rrts = control_frame(FrameType.RRTS, "A", "B", data_bytes=512)
+    medium.transmit(macs["A"], rrts)
+    sim.run(until=2.0)
+    assert macs["B"].stats.sent_of(FrameType.RTS) == before.get(FrameType.RTS, 0)
+
+
+def test_corrupted_frames_never_change_state():
+    sim, medium, macs = build(["A", "B", "C"])
+    # A and C transmit together: B hears garbage only.
+    medium.transmit(macs["A"], __import__("repro.mac.frames", fromlist=["x"]).control_frame(
+        FrameType.RTS, "A", "B", data_bytes=512))
+    medium.transmit(macs["C"], __import__("repro.mac.frames", fromlist=["x"]).control_frame(
+        FrameType.RTS, "C", "B", data_bytes=512))
+    sim.run(until=0.01)
+    assert macs["B"].state is MacState.IDLE
+    assert macs["B"].stats.corrupted == 2
+
+
+def test_quiet_horizon_extends_not_shrinks():
+    sim, medium, macs = build(["A", "B", "C", "D"])
+    macs["A"].enqueue(packet("a"), "B", 512)
+    sim.run(until=0.012)  # C defers to A's exchange (CTS heard)
+    first_horizon = macs["C"].quiet_until
+    assert first_horizon > sim.now
+    # A second overheard exchange-start cannot shorten the horizon.
+    macs["C"]._defer_for(0.0001)
+    assert macs["C"].quiet_until == first_horizon
+
+
+def test_multicast_does_not_wait_for_ack():
+    sim, medium, macs = build(["S", "R"])
+    from repro.mac.frames import MULTICAST
+
+    macs["S"].enqueue(packet("m"), MULTICAST, 512)
+    sim.run(until=1.0)
+    assert macs["S"].stats.ack_timeouts == 0
+    assert macs["S"].stats.successes == 1
+
+
+def test_backoff_counter_stays_in_bounds_under_stress():
+    config = macaw_config()
+    sim, medium, macs = build(["A", "B", "C", "D"], config=config)
+    for name in ("A", "B", "C"):
+        for i in range(50):
+            macs[name].enqueue(packet(name, i), "D", 512)
+    sim.run(until=10.0)
+    for mac in macs.values():
+        assert config.bo_min <= mac.backoff.my_backoff <= config.bo_max
+        for entry in mac.backoff.known_remotes().values():
+            assert entry.local <= config.bo_max
+            if entry.remote is not None:
+                assert entry.remote <= config.bo_max

@@ -1,0 +1,114 @@
+"""StreamQueue: single-FIFO vs multiple-stream disciplines (§3.2)."""
+
+import pytest
+
+from repro.core.streams import StreamQueue
+
+
+def test_single_fifo_exposes_one_candidate():
+    queue = StreamQueue(multi=False)
+    queue.push("p1", "B", 512, 0.0)
+    queue.push("p2", "C", 512, 0.1)
+    candidates = queue.candidates()
+    assert len(candidates) == 1
+    assert candidates[0].dst == "B"  # strict FIFO order
+
+
+def test_multi_exposes_one_candidate_per_stream():
+    queue = StreamQueue(multi=True)
+    queue.push("p1", "B", 512, 0.0)
+    queue.push("p2", "C", 512, 0.1)
+    queue.push("p3", "B", 512, 0.2)
+    candidates = queue.candidates()
+    assert [c.dst for c in candidates] == ["B", "C"]
+    assert candidates[0].payload == "p1"  # head of the B stream
+
+
+def test_pop_removes_by_identity():
+    queue = StreamQueue(multi=True)
+    first = queue.push("p1", "B", 512, 0.0)
+    second = queue.push("p2", "B", 512, 0.1)
+    # Deep removal is allowed (needed by the §4 resurrection paths) ...
+    queue.pop(second)
+    assert queue.candidates()[0] is first
+    queue.pop(first)
+    # ... but double-pop and foreign entries are errors.
+    with pytest.raises(ValueError):
+        queue.pop(first)
+
+
+def test_push_front_reinserts_at_head():
+    queue = StreamQueue(multi=True)
+    first = queue.push("p1", "B", 512, 0.0)
+    second = queue.push("p2", "B", 512, 0.1)
+    queue.pop(first)
+    queue.push_front(first)
+    assert queue.candidates()[0] is first
+    assert len(queue) == 2
+
+
+def test_pop_removes_empty_stream():
+    queue = StreamQueue(multi=True)
+    entry = queue.push("p", "B", 512, 0.0)
+    queue.pop(entry)
+    assert queue.is_empty()
+    assert queue.candidates() == []
+
+
+def test_capacity_rejects_and_counts():
+    queue = StreamQueue(multi=True, capacity=2)
+    assert queue.push("a", "B", 512, 0.0) is not None
+    assert queue.push("b", "B", 512, 0.0) is not None
+    assert queue.push("c", "B", 512, 0.0) is None
+    assert queue.rejected == 1
+    assert queue.accepted == 2
+    # Capacity is per stream: another destination still has room.
+    assert queue.push("d", "C", 512, 0.0) is not None
+
+
+def test_single_fifo_capacity_is_global():
+    queue = StreamQueue(multi=False, capacity=2)
+    queue.push("a", "B", 512, 0.0)
+    queue.push("b", "C", 512, 0.0)
+    assert queue.push("c", "D", 512, 0.0) is None
+
+
+def test_head_for_multi_mode():
+    queue = StreamQueue(multi=True)
+    queue.push("a", "B", 512, 0.0)
+    queue.push("b", "C", 512, 0.0)
+    assert queue.head_for("C").payload == "b"
+    assert queue.head_for("X") is None
+
+
+def test_head_for_single_mode_requires_head_match():
+    # In single-FIFO mode a later packet cannot jump the line (this is
+    # what makes RRTS answerable only when the head targets the requester).
+    queue = StreamQueue(multi=False)
+    queue.push("a", "B", 512, 0.0)
+    queue.push("b", "C", 512, 0.0)
+    assert queue.head_for("B").payload == "a"
+    assert queue.head_for("C") is None
+
+
+def test_len_and_depths():
+    queue = StreamQueue(multi=True)
+    queue.push("a", "B", 512, 0.0)
+    queue.push("b", "B", 512, 0.0)
+    queue.push("c", "C", 512, 0.0)
+    assert len(queue) == 3
+    assert queue.depth_by_stream() == {"B": 2, "C": 1}
+
+
+def test_entry_bookkeeping_fields():
+    queue = StreamQueue(multi=True)
+    entry = queue.push("a", "B", 512, 3.5)
+    assert entry.enqueued_at == 3.5
+    assert entry.retries == 0
+    assert entry.esn is None
+    assert not entry.attempted
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        StreamQueue(multi=True, capacity=0)

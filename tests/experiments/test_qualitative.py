@@ -1,0 +1,36 @@
+"""Fast qualitative reproductions: short-horizon versions of the benches.
+
+These run each experiment at a reduced duration and assert the paper's
+qualitative outcome (the same checks the full benches evaluate).  Durations
+are chosen as the shortest at which the dynamics are stable; the benchmark
+suite runs the full-length versions.
+"""
+
+import pytest
+
+from repro.experiments.registry import get_experiment
+
+# (experiment id, duration, seed) — durations trimmed for CI speed.
+FAST = [
+    ("table1", 300.0, 0),
+    ("table3", 250.0, 0),
+    ("table5", 200.0, 0),
+    ("table6", 200.0, 0),
+    ("table7", 200.0, 0),
+    ("table9", 120.0, 0),
+]
+
+
+@pytest.mark.parametrize("exp_id,duration,seed", FAST, ids=[f[0] for f in FAST])
+def test_fast_qualitative(exp_id, duration, seed):
+    result = get_experiment(exp_id).run(seed=seed, duration=duration)
+    failing = [name for name, ok in result.checks.items() if not ok]
+    assert not failing, f"{exp_id} failed: {failing}\n{result.table.render()}"
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("exp_id", ["table2", "table4", "table8", "fig1", "fig8"])
+def test_slow_qualitative(exp_id):
+    result = get_experiment(exp_id).run(seed=0, duration=300.0)
+    failing = [name for name, ok in result.checks.items() if not ok]
+    assert not failing, f"{exp_id} failed: {failing}\n{result.table.render()}"

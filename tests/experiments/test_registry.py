@@ -1,0 +1,60 @@
+"""Experiment registry and driver plumbing."""
+
+import pytest
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import all_experiments, experiment_ids, get_experiment
+
+
+def test_every_paper_table_is_registered():
+    ids = experiment_ids()
+    for n in range(1, 12):
+        assert f"table{n}" in ids
+    assert "fig1" in ids
+    assert "fig8" in ids
+
+
+def test_ablations_registered():
+    ids = experiment_ids()
+    assert "ablation-mild-factor" in ids
+    assert "ablation-rts-defer" in ids
+    assert "ablation-copying" in ids
+    assert "ablation-multicast" in ids
+    assert "ablation-failure-detection" in ids
+
+
+def test_get_experiment_unknown():
+    with pytest.raises(KeyError):
+        get_experiment("table99")
+
+
+def test_all_experiments_instantiates_everything():
+    experiments = all_experiments()
+    assert len(experiments) == len(experiment_ids())
+    for exp in experiments:
+        assert exp.spec.exp_id
+        assert exp.spec.title
+        assert exp.default_duration > exp.default_warmup
+
+
+def test_specs_reference_figures():
+    assert get_experiment("table5").spec.figure == "fig5"
+    assert get_experiment("table10").spec.figure == "fig10"
+
+
+def test_run_validates_warmup():
+    exp = get_experiment("table9")
+    with pytest.raises(ValueError):
+        exp.run(duration=10.0, warmup=20.0)
+
+
+def test_result_render_and_passed():
+    result = ExperimentResult(
+        spec=get_experiment("table9").spec,
+        table=__import__("repro.analysis.tables", fromlist=["ComparisonTable"]).ComparisonTable("t"),
+        checks={"a": True, "b": False},
+    )
+    assert not result.passed
+    rendered = result.render()
+    assert "[PASS] a" in rendered
+    assert "[FAIL] b" in rendered

@@ -1,0 +1,37 @@
+"""Multi-seed aggregation."""
+
+import pytest
+
+from repro.experiments.registry import get_experiment
+
+
+def test_run_seeds_aggregates_means_and_rates():
+    exp = get_experiment("table9")
+    sweep = exp.run_seeds([0, 1], duration=60.0, warmup=10.0)
+    assert len(sweep.results) == 2
+    mean = sweep.mean_table()
+    singles = [r.table.value("MACA (RTS-CTS-DATA)", "P-B") for r in sweep.results]
+    assert mean.value("MACA (RTS-CTS-DATA)", "P-B") == pytest.approx(
+        sum(singles) / 2
+    )
+    rates = sweep.check_pass_rates()
+    assert set(rates) == set(sweep.results[0].checks)
+    assert all(0.0 <= r <= 1.0 for r in rates.values())
+
+
+def test_run_seeds_requires_seeds():
+    with pytest.raises(ValueError):
+        get_experiment("table9").run_seeds([])
+
+
+def test_render_shows_percentages():
+    sweep = get_experiment("table9").run_seeds([0], duration=60.0, warmup=10.0)
+    out = sweep.render()
+    assert "mean of 1 seeds" in out
+    assert "%]" in out
+
+
+def test_mean_table_preserves_paper_values():
+    sweep = get_experiment("table9").run_seeds([0, 1], duration=60.0, warmup=10.0)
+    mean = sweep.mean_table()
+    assert mean.paper["MACA (RTS-CTS-DATA)"]["P-B"] == 53.04

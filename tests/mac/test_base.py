@@ -1,0 +1,99 @@
+"""BaseMac plumbing: guards, callbacks, power semantics, slot draws."""
+
+import pytest
+
+from repro.core.config import macaw_config
+from repro.core.macaw import MacawMac
+from repro.mac.base import MacStats
+from repro.mac.frames import FrameType, control_frame
+from repro.net.packets import NetPacket
+from repro.phy.graph_medium import GraphMedium
+from repro.sim.kernel import Simulator
+
+
+def make(n=2):
+    sim = Simulator(seed=2)
+    medium = GraphMedium(sim)
+    macs = [MacawMac(sim, medium, f"S{i}", config=macaw_config()) for i in range(n)]
+    medium.connect_clique(macs)
+    return sim, medium, macs
+
+
+def test_draw_slots_respects_bounds():
+    sim, medium, (a, b) = make()
+    draws = [a.draw_slots(4.0) for _ in range(300)]
+    assert min(draws) >= 1
+    assert max(draws) <= 4
+
+
+def test_draw_slots_minimum_is_one():
+    sim, medium, (a, b) = make()
+    assert all(a.draw_slots(0.3) == 1 for _ in range(10))
+
+
+def test_send_frame_while_transmitting_returns_none():
+    sim, medium, (a, b) = make()
+    frame1 = control_frame(FrameType.RTS, "S0", "S1", data_bytes=512)
+    frame2 = control_frame(FrameType.RTS, "S0", "S1", data_bytes=512)
+    assert a.send_frame(frame1) is not None
+    assert a.send_frame(frame2) is None
+    # Only the first was counted as sent.
+    assert a.stats.sent_of(FrameType.RTS) == 1
+
+
+def test_send_frame_while_off_returns_none():
+    sim, medium, (a, b) = make()
+    a.power_off()
+    frame = control_frame(FrameType.RTS, "S0", "S1", data_bytes=512)
+    assert a.send_frame(frame) is None
+
+
+def test_power_off_is_idempotent():
+    sim, medium, (a, b) = make()
+    a.power_off()
+    a.power_off()
+    a.power_on()
+    a.power_on()
+    assert a.powered
+
+
+def test_deliver_and_drop_callbacks():
+    sim, medium, (a, b) = make()
+    events = []
+    a.on_deliver = lambda payload, src: events.append(("deliver", src))
+    a.on_drop = lambda payload, dst: events.append(("drop", dst))
+    a.on_sent = lambda payload, dst: events.append(("sent", dst))
+    packet = NetPacket(stream="s", kind="udp", seq=0, size_bytes=512, created=0.0)
+    a.deliver_up(packet, "S1")
+    a.notify_drop(packet, "S1")
+    a.notify_sent(packet, "S1")
+    assert events == [("deliver", "S1"), ("drop", "S1"), ("sent", "S1")]
+    assert a.stats.delivered == 1
+    assert a.stats.drops == 1
+    assert a.stats.successes == 1
+
+
+def test_callbacks_optional():
+    sim, medium, (a, b) = make()
+    packet = NetPacket(stream="s", kind="udp", seq=0, size_bytes=512, created=0.0)
+    a.deliver_up(packet, "S1")  # no callbacks set: must not raise
+    a.notify_drop(packet, "S1")
+    a.notify_sent(packet, "S1")
+
+
+def test_stats_helpers():
+    stats = MacStats()
+    stats.count_sent(FrameType.RTS)
+    stats.count_sent(FrameType.RTS)
+    stats.count_received(FrameType.CTS)
+    assert stats.sent_of(FrameType.RTS) == 2
+    assert stats.received_of(FrameType.CTS) == 1
+    assert stats.sent_of(FrameType.ACK) == 0
+
+
+def test_default_timing_derived_from_medium_bitrate():
+    sim = Simulator()
+    medium = GraphMedium(sim, bitrate_bps=512_000.0)
+    mac = MacawMac(sim, medium, "X", config=macaw_config())
+    assert mac.timing.bitrate_bps == 512_000.0
+    assert mac.timing.slot == pytest.approx(30 * 8 / 512_000.0)

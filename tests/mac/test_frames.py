@@ -1,0 +1,84 @@
+"""Frame formats and constructors."""
+
+import pytest
+
+from repro.mac.frames import (
+    CONTROL_BYTES,
+    Frame,
+    FrameType,
+    MULTICAST,
+    control_frame,
+    data_frame,
+)
+
+
+def test_control_frame_size_is_30_bytes():
+    frame = control_frame(FrameType.RTS, "A", "B", data_bytes=512)
+    assert frame.size_bytes == CONTROL_BYTES == 30
+
+
+def test_all_control_kinds_constructible():
+    for kind in (FrameType.RTS, FrameType.CTS, FrameType.DS, FrameType.ACK, FrameType.RRTS):
+        frame = control_frame(kind, "A", "B")
+        assert frame.kind is kind
+        assert frame.kind.is_control
+
+
+def test_control_frame_rejects_data_kind():
+    with pytest.raises(ValueError):
+        control_frame(FrameType.DATA, "A", "B")
+
+
+def test_data_frame_carries_payload():
+    frame = data_frame("A", "B", 512, payload={"seq": 1})
+    assert frame.kind is FrameType.DATA
+    assert not frame.kind.is_control
+    assert frame.payload == {"seq": 1}
+    assert frame.data_bytes == 512
+
+
+def test_control_frame_rejects_payload():
+    with pytest.raises(ValueError):
+        Frame(kind=FrameType.RTS, src="A", dst="B", size_bytes=30, payload="x")
+
+
+def test_positive_size_required():
+    with pytest.raises(ValueError):
+        data_frame("A", "B", 0)
+
+
+def test_addressing():
+    frame = control_frame(FrameType.RTS, "A", "B")
+    assert frame.addressed_to("B")
+    assert not frame.addressed_to("C")
+    assert not frame.is_multicast
+
+
+def test_multicast_addressing():
+    frame = control_frame(FrameType.RTS, "A", MULTICAST, data_bytes=512)
+    assert frame.is_multicast
+    assert frame.addressed_to("anyone")
+
+
+def test_backoff_fields_and_esn():
+    frame = control_frame(
+        FrameType.RTS, "A", "B", data_bytes=512,
+        local_backoff=4.0, remote_backoff=None, esn=7, retry=True,
+    )
+    assert frame.local_backoff == 4.0
+    assert frame.remote_backoff is None  # I_DONT_KNOW
+    assert frame.esn == 7
+    assert frame.retry
+
+
+def test_uids_are_unique():
+    a = control_frame(FrameType.RTS, "A", "B")
+    b = control_frame(FrameType.RTS, "A", "B")
+    assert a.uid != b.uid
+
+
+def test_describe():
+    frame = control_frame(FrameType.CTS, "B", "A", esn=3)
+    assert frame.describe() == "CTS B→A esn=3"
+    retry = control_frame(FrameType.RTS, "A", "B", esn=4, retry=True)
+    assert "retry" in retry.describe()

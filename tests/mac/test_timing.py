@@ -1,0 +1,86 @@
+"""Slot and timeout arithmetic: the paper's constants."""
+
+import pytest
+
+from repro.mac.timing import MacTiming
+
+
+@pytest.fixture
+def timing():
+    return MacTiming()  # 256 kbps, 30-byte control, null turnaround
+
+
+def test_slot_is_control_airtime(timing):
+    # 30 bytes at 256 kbps = 937.5 microseconds.
+    assert timing.slot == pytest.approx(937.5e-6)
+
+
+def test_data_airtime(timing):
+    # 512 bytes at 256 kbps = 16 ms.
+    assert timing.airtime(512) == pytest.approx(16e-3)
+
+
+def test_airtime_rejects_nonpositive(timing):
+    with pytest.raises(ValueError):
+        timing.airtime(0)
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        MacTiming(bitrate_bps=0)
+    with pytest.raises(ValueError):
+        MacTiming(control_bytes=0)
+    with pytest.raises(ValueError):
+        MacTiming(turnaround_s=-1e-3)
+
+
+def test_cts_timeout_covers_cts_and_margin(timing):
+    assert timing.cts_timeout() == pytest.approx(timing.slot + timing.margin)
+
+
+def test_defer_after_rts_covers_cts(timing):
+    assert timing.defer_after_rts() >= timing.slot
+
+
+def test_defer_after_cts_scales_with_features(timing):
+    plain = timing.defer_after_cts(512, use_ds=False, use_ack=False)
+    with_ds = timing.defer_after_cts(512, use_ds=True, use_ack=False)
+    with_both = timing.defer_after_cts(512, use_ds=True, use_ack=True)
+    assert plain >= timing.airtime(512)
+    assert with_ds == pytest.approx(plain + timing.slot)
+    assert with_both == pytest.approx(with_ds + timing.slot)
+
+
+def test_defer_after_ds_covers_data_and_ack(timing):
+    span = timing.defer_after_ds(512, use_ack=True)
+    assert span >= timing.airtime(512) + timing.slot
+    assert timing.defer_after_ds(512, use_ack=False) == pytest.approx(
+        span - timing.slot
+    )
+
+
+def test_defer_after_rrts_is_two_slots_plus_margin(timing):
+    assert timing.defer_after_rrts() == pytest.approx(2 * timing.slot + timing.margin)
+
+
+def test_full_exchange_defer_exceeds_all_parts(timing):
+    span = timing.defer_full_exchange(512)
+    assert span >= 3 * timing.slot + timing.airtime(512)
+
+
+def test_exchange_airtime():
+    timing = MacTiming()
+    maca = timing.exchange_airtime(512, use_ds=False, use_ack=False)
+    macaw = timing.exchange_airtime(512, use_ds=True, use_ack=True)
+    # MACA: RTS+CTS+DATA = 2 slots + 16ms; MACAW adds DS and ACK slots.
+    assert maca == pytest.approx(2 * timing.slot + 16e-3)
+    assert macaw == pytest.approx(4 * timing.slot + 16e-3)
+
+
+def test_turnaround_included():
+    timing = MacTiming(turnaround_s=1e-3)
+    assert timing.cts_timeout() == pytest.approx(1e-3 + timing.slot + timing.margin)
+
+
+def test_multicast_rts_defer_covers_data(timing):
+    assert timing.defer_after_multicast_rts(512) >= timing.airtime(512)

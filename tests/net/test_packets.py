@@ -1,0 +1,39 @@
+"""NetPacket invariants."""
+
+import pytest
+
+from repro.net.packets import DATA_PACKET_BYTES, NetPacket, TCP_ACK_BYTES
+
+
+def test_paper_constants():
+    assert DATA_PACKET_BYTES == 512
+    assert TCP_ACK_BYTES == 40
+
+
+def test_construction():
+    p = NetPacket(stream="P1-B", kind="udp", seq=3, size_bytes=512, created=1.5)
+    assert p.stream == "P1-B"
+    assert p.ack is None
+    assert not p.retransmitted
+
+
+def test_tcp_ack_carries_cumulative_ack():
+    p = NetPacket(stream="s:ack", kind="tcp_ack", seq=0, size_bytes=40,
+                  created=0.0, ack=17)
+    assert p.ack == 17
+
+
+def test_unique_uids():
+    a = NetPacket(stream="s", kind="udp", seq=0, size_bytes=512, created=0.0)
+    b = NetPacket(stream="s", kind="udp", seq=0, size_bytes=512, created=0.0)
+    assert a.uid != b.uid
+
+
+def test_invalid_kind_rejected():
+    with pytest.raises(ValueError):
+        NetPacket(stream="s", kind="sctp", seq=0, size_bytes=512, created=0.0)
+
+
+def test_invalid_size_rejected():
+    with pytest.raises(ValueError):
+        NetPacket(stream="s", kind="udp", seq=0, size_bytes=0, created=0.0)

@@ -1,0 +1,79 @@
+"""FlowRecorder and Dispatcher."""
+
+import pytest
+
+from repro.core.config import macaw_config
+from repro.core.macaw import MacawMac
+from repro.net.packets import NetPacket
+from repro.net.sink import Dispatcher, FlowRecorder
+from repro.phy.graph_medium import GraphMedium
+from repro.sim.kernel import Simulator
+
+
+def test_recorder_counts_and_rates():
+    rec = FlowRecorder()
+    for t in (1.0, 2.0, 3.0, 4.0):
+        rec.record("s", t, 512)
+    assert rec.flow("s").count_between(0.0, 5.0) == 4
+    assert rec.flow("s").count_between(2.0, 4.0) == 2  # [2, 4): t=2, 3
+    # Windows are half-open: [0, 4) holds t = 1, 2, 3.
+    assert rec.throughput_pps("s", 0.0, 4.0) == 0.75
+    assert rec.throughput_bps("s", 0.0, 4.0) == 3 * 512 * 8 / 4.0
+    assert rec.throughput_pps("s", 0.0, 4.5) == pytest.approx(4 / 4.5)
+
+
+def test_recorder_unknown_stream_is_empty():
+    rec = FlowRecorder()
+    assert rec.throughput_pps("nope", 0.0, 1.0) == 0.0
+    assert rec.streams() == []
+
+
+def test_recorder_invalid_window():
+    rec = FlowRecorder()
+    with pytest.raises(ValueError):
+        rec.throughput_pps("s", 2.0, 2.0)
+
+
+def test_dispatcher_routes_registered_stream():
+    sim = Simulator()
+    medium = GraphMedium(sim)
+    mac = MacawMac(sim, medium, "B", config=macaw_config())
+    rec = FlowRecorder()
+    dispatcher = Dispatcher(mac, rec)
+    handled = []
+    dispatcher.register("tcp-1", lambda p, src: handled.append(p))
+    packet = NetPacket(stream="tcp-1", kind="tcp_data", seq=0, size_bytes=512, created=0.0)
+    mac.deliver_up(packet, "A")
+    assert handled == [packet]
+    assert rec.flow("tcp-1").count_between(0, 1) == 0  # handler owns recording
+
+
+def test_dispatcher_records_unregistered_stream():
+    sim = Simulator()
+    medium = GraphMedium(sim)
+    mac = MacawMac(sim, medium, "B", config=macaw_config())
+    rec = FlowRecorder()
+    Dispatcher(mac, rec)
+    packet = NetPacket(stream="udp-1", kind="udp", seq=0, size_bytes=512, created=0.0)
+    mac.deliver_up(packet, "A")
+    assert rec.flow("udp-1").count_between(0, 1) == 1
+
+
+def test_dispatcher_duplicate_registration_rejected():
+    sim = Simulator()
+    medium = GraphMedium(sim)
+    mac = MacawMac(sim, medium, "B", config=macaw_config())
+    dispatcher = Dispatcher(mac, FlowRecorder())
+    dispatcher.register("s", lambda p, src: None)
+    with pytest.raises(ValueError):
+        dispatcher.register("s", lambda p, src: None)
+
+
+def test_dispatcher_counts_unclaimed_without_recorder():
+    sim = Simulator()
+    medium = GraphMedium(sim)
+    mac = MacawMac(sim, medium, "B", config=macaw_config())
+    dispatcher = Dispatcher(mac, recorder=None)
+    packet = NetPacket(stream="x", kind="udp", seq=0, size_bytes=512, created=0.0)
+    mac.deliver_up(packet, "A")
+    assert dispatcher.unclaimed == 1

@@ -1,0 +1,152 @@
+"""TCP: in-order delivery, the 0.5 s minimum RTO, retransmission, delayed ACKs."""
+
+import pytest
+
+from repro.core.config import macaw_config
+from repro.core.macaw import MacawMac
+from repro.net.sink import Dispatcher, FlowRecorder
+from repro.net.tcp import TcpConfig, TcpStream
+from repro.phy.graph_medium import GraphMedium
+from repro.phy.noise import PacketErrorModel, TimeWindowErrorModel
+from repro.sim.kernel import Simulator
+
+
+def build_pair(seed=3, tcp_config=TcpConfig(), rate=32.0):
+    sim = Simulator(seed=seed)
+    medium = GraphMedium(sim)
+    a = MacawMac(sim, medium, "A", config=macaw_config())
+    b = MacawMac(sim, medium, "B", config=macaw_config())
+    medium.connect_clique([a, b])
+    recorder = FlowRecorder()
+    stream = TcpStream(
+        sim, Dispatcher(a, recorder), Dispatcher(b, recorder),
+        "A-B", rate, recorder=recorder, config=tcp_config,
+    )
+    return sim, medium, stream, recorder
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        TcpConfig(min_rto_s=0.0)
+    with pytest.raises(ValueError):
+        TcpConfig(min_rto_s=1.0, initial_rto_s=0.5)
+    with pytest.raises(ValueError):
+        TcpConfig(max_window=0)
+    with pytest.raises(ValueError):
+        TcpConfig(ack_every=0)
+
+
+def test_clean_link_delivers_everything_in_order():
+    sim, medium, stream, recorder = build_pair(rate=20.0)
+    sim.run(until=10.0)
+    # 20 pps for 10 s with startup ramp: expect nearly all 200 delivered.
+    assert stream.delivered_in_order >= 190
+    assert stream.rcv_next == stream.delivered_in_order
+    assert stream.timeouts == 0
+
+
+def test_throughput_recorded_under_stream_id():
+    sim, medium, stream, recorder = build_pair(rate=20.0)
+    sim.run(until=10.0)
+    assert recorder.flow("A-B").count_between(0, 10.0) == stream.delivered_in_order
+
+
+def test_min_rto_floor_is_half_second():
+    sim, medium, stream, recorder = build_pair(rate=20.0)
+    sim.run(until=10.0)
+    # One-hop RTTs are tens of ms; the floor must keep RTO at 0.5 s.
+    assert stream.rto == pytest.approx(0.5)
+
+
+def test_loss_recovered_by_retransmission():
+    sim, medium, stream, recorder = build_pair(rate=20.0)
+    # Kill everything for 2 seconds mid-flow: the MAC gives up, TCP retransmits.
+    medium.add_noise_model(TimeWindowErrorModel(1.0, start=2.0, end=4.0))
+    sim.run(until=20.0)
+    assert stream.timeouts >= 1
+    assert stream.retransmissions >= 1
+    # No holes: the receiver's in-order count can only lead the sender's
+    # cumulative-ack state by the ACK still in flight.
+    assert stream.snd_una <= stream.delivered_in_order <= stream.snd_una + 2
+    assert stream.delivered_in_order >= 300  # ~400 offered minus the outage
+
+
+def test_rto_backs_off_exponentially_during_outage():
+    sim, medium, stream, recorder = build_pair(rate=20.0)
+    medium.add_noise_model(TimeWindowErrorModel(1.0, start=1.0, end=9.0))
+    sim.run(until=9.5)
+    assert stream.timeouts >= 3
+    assert stream.rto > 1.0  # grew beyond the floor
+
+
+def test_cwnd_collapses_on_timeout_and_regrows():
+    sim, medium, stream, recorder = build_pair(rate=64.0)
+    sim.run(until=3.0)
+    grown = stream.cwnd
+    assert grown > 1.0
+    medium.add_noise_model(TimeWindowErrorModel(1.0, start=3.0, end=4.5))
+    sim.run(until=4.4)
+    assert stream.cwnd == 1.0
+    sim.run(until=30.0)
+    assert stream.cwnd > 1.0
+
+
+def test_delayed_ack_halves_ack_traffic():
+    sim, medium, stream, recorder = build_pair(rate=20.0)
+    sim.run(until=10.0)
+    # Ack-every-2: acks ≈ delivered/2 (plus delayed-ack timer flushes).
+    assert stream.acks_sent <= 0.7 * stream.delivered_in_order
+
+
+def test_ack_every_one_acks_each_segment():
+    sim, medium, stream, recorder = build_pair(tcp_config=TcpConfig(ack_every=1),
+                                               rate=20.0)
+    sim.run(until=5.0)
+    assert stream.acks_sent >= stream.delivered_in_order
+
+
+def test_send_buffer_overflow_counts():
+    config = TcpConfig(send_buffer=4)
+    sim, medium, stream, recorder = build_pair(tcp_config=config, rate=64.0)
+    medium.add_noise_model(TimeWindowErrorModel(1.0, start=0.0, end=3.0))
+    sim.run(until=3.0)
+    assert stream.app_overflow > 0
+
+
+def test_window_never_exceeds_configured_max():
+    config = TcpConfig(max_window=4)
+    sim, medium, stream, recorder = build_pair(tcp_config=config, rate=64.0)
+    checks = []
+
+    def sample():
+        checks.append(stream.snd_next - stream.snd_una <= 4)
+        if sim.now < 5.0:
+            sim.schedule(0.05, sample)
+
+    sim.schedule(0.05, sample)
+    sim.run(until=5.0)
+    assert all(checks)
+
+
+def test_reorder_buffer_handles_gap():
+    """A MAC-level drop creates a sequence gap; later segments are buffered
+    and delivered in order once the hole is retransmitted."""
+    sim, medium, stream, recorder = build_pair(rate=32.0)
+    medium.add_noise_model(TimeWindowErrorModel(1.0, start=1.0, end=2.5))
+    sim.run(until=30.0)
+    flow = recorder.flow("A-B")
+    # Recorded deliveries are the in-order sequence: strictly increasing count
+    assert stream.delivered_in_order == flow.count_between(0, 30.0)
+    # Tahoe repairs one hole per RTO; a 1.5 s blackout with a full window
+    # in flight costs several seconds of serial repair.
+    assert stream.delivered_in_order >= 500  # of ~960 offered
+
+
+def test_karn_rule_no_rtt_sample_from_retransmission():
+    sim, medium, stream, recorder = build_pair(rate=20.0)
+    medium.add_noise_model(TimeWindowErrorModel(1.0, start=1.0, end=3.0))
+    sim.run(until=3.1)
+    rto_during = stream.rto  # backed off
+    sim.run(until=10.0)
+    # After recovery, fresh (non-retransmitted) samples pull RTO back to floor.
+    assert stream.rto <= rto_during

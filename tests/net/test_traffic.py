@@ -1,0 +1,104 @@
+"""Traffic sources: CBR exactness, Poisson statistics, on/off behaviour."""
+
+import pytest
+
+from repro.net.traffic import CbrSource, OnOffSource, PoissonSource
+from repro.sim.kernel import Simulator
+
+
+def collect(source_factory, until):
+    sim = Simulator(seed=3)
+    emitted = []
+    source_factory(sim, lambda i: emitted.append((i, sim.now)))
+    sim.run(until=until)
+    return emitted
+
+
+def test_cbr_rate_is_exact():
+    emitted = collect(lambda sim, emit: CbrSource(sim, emit, rate_pps=64.0), 10.0)
+    assert len(emitted) in (639, 640, 641)  # 64/s for 10s, +/- phase
+
+
+def test_cbr_intervals_are_constant():
+    emitted = collect(lambda sim, emit: CbrSource(sim, emit, rate_pps=10.0, phase=0.0), 2.0)
+    times = [t for _, t in emitted]
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    assert all(g == pytest.approx(0.1) for g in gaps)
+
+
+def test_cbr_phase_offsets_first_packet():
+    emitted = collect(
+        lambda sim, emit: CbrSource(sim, emit, rate_pps=10.0, phase=0.05), 1.0
+    )
+    assert emitted[0][1] == pytest.approx(0.05)
+
+
+def test_cbr_start_stop_window():
+    emitted = collect(
+        lambda sim, emit: CbrSource(sim, emit, rate_pps=10.0, start=1.0, stop=2.0, phase=0.0),
+        5.0,
+    )
+    assert all(1.0 <= t < 2.0 for _, t in emitted)
+    assert 9 <= len(emitted) <= 11
+
+
+def test_cbr_indices_are_sequential():
+    emitted = collect(lambda sim, emit: CbrSource(sim, emit, rate_pps=50.0), 1.0)
+    assert [i for i, _ in emitted] == list(range(len(emitted)))
+
+
+def test_halt_stops_generation():
+    sim = Simulator(seed=3)
+    emitted = []
+    source = CbrSource(sim, lambda i: emitted.append(i), rate_pps=10.0, phase=0.0)
+    sim.at(1.0, source.halt)
+    sim.run(until=5.0)
+    assert len(emitted) <= 11
+
+
+def test_invalid_rate():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        CbrSource(sim, lambda i: None, rate_pps=0.0)
+    with pytest.raises(ValueError):
+        PoissonSource(sim, lambda i: None, rate_pps=-1.0)
+
+
+def test_stop_before_start_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        CbrSource(sim, lambda i: None, rate_pps=1.0, start=2.0, stop=1.0)
+
+
+def test_poisson_mean_rate():
+    emitted = collect(lambda sim, emit: PoissonSource(sim, emit, rate_pps=50.0), 40.0)
+    # 2000 expected; 5 sigma ≈ 220.
+    assert 1780 <= len(emitted) <= 2220
+
+
+def test_poisson_interarrivals_vary():
+    emitted = collect(lambda sim, emit: PoissonSource(sim, emit, rate_pps=20.0), 10.0)
+    times = [t for _, t in emitted]
+    gaps = {round(b - a, 9) for a, b in zip(times, times[1:])}
+    assert len(gaps) > 10  # genuinely random, unlike CBR
+
+
+def test_onoff_produces_bursts_and_silences():
+    emitted = collect(
+        lambda sim, emit: OnOffSource(
+            sim, emit, rate_pps=100.0, mean_on_s=0.5, mean_off_s=0.5
+        ),
+        60.0,
+    )
+    # Roughly half duty cycle: well below the full 6000, well above zero.
+    assert 1200 < len(emitted) < 4800
+    times = [t for _, t in emitted]
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    assert max(gaps) > 0.2   # a silence
+    assert min(gaps) == pytest.approx(0.01, rel=0.01)  # in-burst CBR spacing
+
+
+def test_onoff_invalid_parameters():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        OnOffSource(sim, lambda i: None, rate_pps=10.0, mean_on_s=0.0, mean_off_s=1.0)

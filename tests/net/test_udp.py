@@ -1,0 +1,72 @@
+"""UDP streams: wiring, loss semantics, accounting."""
+
+import pytest
+
+from repro.core.config import macaw_config
+from repro.core.macaw import MacawMac
+from repro.net.sink import Dispatcher, FlowRecorder
+from repro.net.udp import UdpStream
+from repro.phy.graph_medium import GraphMedium
+from repro.sim.kernel import Simulator
+
+
+def build(rate=32.0, linked=True, seed=3, queue_capacity=64, **kwargs):
+    sim = Simulator(seed=seed)
+    medium = GraphMedium(sim)
+    a = MacawMac(sim, medium, "A", config=macaw_config(), queue_capacity=queue_capacity)
+    b = MacawMac(sim, medium, "B", config=macaw_config(), queue_capacity=queue_capacity)
+    if linked:
+        medium.connect_clique([a, b])
+    recorder = FlowRecorder()
+    Dispatcher(a, recorder)
+    Dispatcher(b, recorder)
+    stream = UdpStream(sim, a, b, "A-B", rate, **kwargs)
+    return sim, stream, recorder
+
+
+def test_low_rate_stream_is_lossless():
+    sim, stream, recorder = build(rate=16.0)
+    sim.run(until=10.0)
+    delivered = recorder.flow("A-B").count_between(0, 10.0)
+    assert delivered == stream.offered
+    assert stream.rejected == 0
+
+
+def test_saturating_stream_fills_queue_and_drops():
+    sim, stream, recorder = build(rate=128.0, queue_capacity=8)
+    sim.run(until=10.0)
+    delivered = recorder.flow("A-B").count_between(0, 10.0)
+    assert stream.offered > delivered          # queue overflow lost some
+    assert stream.rejected > 0
+    assert delivered > 40 * 9                  # but the channel stayed busy
+
+
+def test_unreachable_destination_loses_everything():
+    sim, stream, recorder = build(rate=16.0, linked=False)
+    sim.run(until=5.0)
+    assert recorder.flow("A-B").count_between(0, 5.0) == 0
+    assert stream.offered > 0
+
+
+def test_start_stop_window():
+    sim, stream, recorder = build(rate=16.0, start=1.0, stop=2.0)
+    sim.run(until=5.0)
+    assert 14 <= stream.offered <= 17
+
+
+def test_poisson_arrivals_supported():
+    sim, stream, recorder = build(rate=16.0, arrival="poisson")
+    sim.run(until=10.0)
+    assert recorder.flow("A-B").count_between(0, 10.0) > 100
+
+
+def test_unknown_arrival_rejected():
+    with pytest.raises(ValueError):
+        build(arrival="bursty")
+
+
+def test_halt():
+    sim, stream, recorder = build(rate=16.0)
+    sim.at(1.0, stream.halt)
+    sim.run(until=5.0)
+    assert stream.offered <= 17

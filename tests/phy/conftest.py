@@ -1,0 +1,65 @@
+"""Shared fixtures: a recording ReceiverPort and medium setup helpers."""
+
+from typing import List, Optional, Tuple
+
+import pytest
+
+from repro.mac.frames import FrameType, control_frame, data_frame
+from repro.phy.graph_medium import GraphMedium
+from repro.phy.medium import ReceiverPort, Transmission
+from repro.sim.kernel import Simulator
+
+
+class RecordingPort(ReceiverPort):
+    """A ReceiverPort that logs everything the medium tells it."""
+
+    def __init__(self, name: str, position: Tuple[float, float, float] = (0.0, 0.0, 0.0)):
+        self.name = name
+        self.position = position
+        self.frames: List[Tuple[object, bool]] = []
+        self.carrier_events: List[bool] = []
+        self.completed: List[Transmission] = []
+
+    def on_frame(self, frame, clean):
+        self.frames.append((frame, clean))
+
+    def on_carrier(self, busy):
+        self.carrier_events.append(busy)
+
+    def on_transmit_complete(self, transmission):
+        self.completed.append(transmission)
+
+    def clean_frames(self):
+        return [f for f, clean in self.frames if clean]
+
+    def corrupt_frames(self):
+        return [f for f, clean in self.frames if not clean]
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=1)
+
+
+@pytest.fixture
+def graph(sim):
+    return GraphMedium(sim)
+
+
+def make_ports(medium, *names, positions=None):
+    """Attach RecordingPorts with the given names; returns them."""
+    ports = []
+    for i, name in enumerate(names):
+        position = positions[i] if positions else (0.0, 0.0, 0.0)
+        port = RecordingPort(name, position)
+        medium.attach(port)
+        ports.append(port)
+    return ports
+
+
+def rts(src="A", dst="B", data_bytes=512):
+    return control_frame(FrameType.RTS, src, dst, data_bytes=data_bytes)
+
+
+def data(src="A", dst="B", size=512, payload=None):
+    return data_frame(src, dst, size, payload=payload)

@@ -1,0 +1,199 @@
+"""GraphMedium: boolean connectivity, collisions, half-duplex, carrier."""
+
+import pytest
+
+from repro.phy.medium import MediumError
+from tests.phy.conftest import RecordingPort, data, make_ports, rts
+
+
+CONTROL_AIRTIME = 30 * 8 / 256_000
+DATA_AIRTIME = 512 * 8 / 256_000
+
+
+def test_airtime_computation(graph):
+    assert graph.airtime(30) == pytest.approx(CONTROL_AIRTIME)
+    assert graph.airtime(512) == pytest.approx(DATA_AIRTIME)
+    with pytest.raises(ValueError):
+        graph.airtime(0)
+
+
+def test_delivery_to_linked_receiver(sim, graph):
+    a, b = make_ports(graph, "A", "B")
+    graph.set_link(a, b)
+    frame = data("A", "B")
+    graph.transmit(a, frame)
+    sim.run()
+    assert b.clean_frames() == [frame]
+    assert a.completed and a.completed[0].frame is frame
+
+
+def test_no_delivery_without_link(sim, graph):
+    a, b = make_ports(graph, "A", "B")
+    graph.transmit(a, data("A", "B"))
+    sim.run()
+    assert b.frames == []
+
+
+def test_asymmetric_link(sim, graph):
+    a, b = make_ports(graph, "A", "B")
+    graph.set_link(a, b, symmetric=False)  # only A→B audible
+    graph.transmit(a, data("A", "B"))
+    sim.run()
+    assert len(b.clean_frames()) == 1
+    graph.transmit(b, data("B", "A"))
+    sim.run()
+    assert a.frames == []
+
+
+def test_delivery_time_is_airtime(sim, graph):
+    a, b = make_ports(graph, "A", "B")
+    graph.set_link(a, b)
+    received_at = []
+    b.on_frame = lambda frame, clean: received_at.append(sim.now)
+    graph.transmit(a, data("A", "B"))
+    sim.run()
+    assert received_at == [pytest.approx(DATA_AIRTIME)]
+
+
+def test_overlapping_transmissions_collide_at_common_receiver(sim, graph):
+    a, b, c = make_ports(graph, "A", "B", "C")
+    graph.connect_clique([a, b, c])
+    graph.transmit(a, data("A", "B"))
+    graph.transmit(c, data("C", "B"))  # same instant: full overlap
+    sim.run()
+    assert b.clean_frames() == []
+    assert len(b.corrupt_frames()) == 2
+
+
+def test_partial_overlap_collides(sim, graph):
+    a, b, c = make_ports(graph, "A", "B", "C")
+    graph.connect_clique([a, b, c])
+    graph.transmit(a, data("A", "B"))
+    sim.run(until=DATA_AIRTIME / 2)
+    graph.transmit(c, rts("C", "B"))
+    sim.run()
+    assert b.clean_frames() == []
+
+
+def test_back_to_back_zero_overlap_is_clean(sim, graph):
+    a, b, c = make_ports(graph, "A", "B", "C")
+    graph.connect_clique([a, b, c])
+    first = data("A", "B")
+    graph.transmit(a, first)
+    sim.at(DATA_AIRTIME, lambda: graph.transmit(c, data("C", "B")))
+    sim.run()
+    assert len(b.clean_frames()) == 2
+
+
+def test_hidden_terminal_collision(sim, graph):
+    # A—B—C chain: A and C are hidden from each other, collide at B.
+    a, b, c = make_ports(graph, "A", "B", "C")
+    graph.set_link(a, b)
+    graph.set_link(b, c)
+    graph.transmit(a, data("A", "B"))
+    graph.transmit(c, data("C", "B"))
+    sim.run()
+    assert b.clean_frames() == []
+    assert len(b.corrupt_frames()) == 2
+
+
+def test_exposed_terminal_parallel_transfers_succeed(sim, graph):
+    # B—A and C—D with B—C linked: both DATA arrive clean.
+    a, b, c, d = make_ports(graph, "A", "B", "C", "D")
+    graph.set_link(a, b)
+    graph.set_link(b, c)
+    graph.set_link(c, d)
+    graph.transmit(b, data("B", "A"))
+    graph.transmit(c, data("C", "D"))
+    sim.run()
+    assert len(a.clean_frames()) == 1
+    assert len(d.clean_frames()) == 1
+
+
+def test_half_duplex_receiver_transmitting_misses_frame(sim, graph):
+    a, b = make_ports(graph, "A", "B")
+    graph.set_link(a, b)
+    graph.transmit(b, data("B", "A"))  # B is busy transmitting
+    graph.transmit(a, data("A", "B"))
+    sim.run()
+    assert b.clean_frames() == []
+    assert len(b.corrupt_frames()) == 1
+
+
+def test_half_duplex_sender_corrupts_own_ongoing_reception(sim, graph):
+    a, b = make_ports(graph, "A", "B")
+    graph.set_link(a, b)
+    graph.transmit(a, data("A", "B"))
+    # B starts transmitting halfway through the reception.
+    sim.at(DATA_AIRTIME / 2, lambda: graph.transmit(b, rts("B", "A")))
+    sim.run()
+    assert b.clean_frames() == []
+
+
+def test_cannot_transmit_twice_concurrently(sim, graph):
+    (a,) = make_ports(graph, "A")
+    graph.transmit(a, data("A", "B"))
+    with pytest.raises(MediumError):
+        graph.transmit(a, data("A", "B"))
+
+
+def test_unattached_sender_rejected(sim, graph):
+    stranger = RecordingPort("X")
+    with pytest.raises(MediumError):
+        graph.transmit(stranger, data("X", "B"))
+
+
+def test_carrier_sense_tracks_foreign_signal(sim, graph):
+    a, b = make_ports(graph, "A", "B")
+    graph.set_link(a, b)
+    assert not graph.carrier_sensed(b)
+    graph.transmit(a, data("A", "B"))
+    assert graph.carrier_sensed(b)
+    assert not graph.carrier_sensed(a)  # own transmission is not carrier
+    sim.run()
+    assert not graph.carrier_sensed(b)
+    assert b.carrier_events == [True, False]
+
+
+def test_detach_mid_flight_drops_reception(sim, graph):
+    a, b = make_ports(graph, "A", "B")
+    graph.set_link(a, b)
+    graph.transmit(a, data("A", "B"))
+    sim.at(DATA_AIRTIME / 2, lambda: graph.detach(b))
+    sim.run()
+    assert b.frames == []
+
+
+def test_detach_removes_links(sim, graph):
+    a, b = make_ports(graph, "A", "B")
+    graph.set_link(a, b)
+    graph.detach(b)
+    graph.attach(b)
+    graph.transmit(a, data("A", "B"))
+    sim.run()
+    assert b.frames == []  # links were cleared by detach
+
+
+def test_self_link_rejected(sim, graph):
+    (a,) = make_ports(graph, "A")
+    with pytest.raises(MediumError):
+        graph.set_link(a, a)
+
+
+def test_neighbors_and_in_range(sim, graph):
+    a, b, c = make_ports(graph, "A", "B", "C")
+    graph.connect_clique([a, b, c])
+    assert graph.in_range(a, b)
+    assert [p.name for p in graph.neighbors(a)] == ["B", "C"]
+
+
+def test_delivery_statistics(sim, graph):
+    a, b, c = make_ports(graph, "A", "B", "C")
+    graph.connect_clique([a, b, c])
+    graph.transmit(a, data("A", "B"))
+    sim.run()
+    assert graph.clean_deliveries == 2  # B and C both heard it
+    graph.transmit(a, data("A", "B"))
+    graph.transmit(c, data("C", "B"))
+    sim.run()
+    assert graph.corrupt_deliveries >= 2

@@ -1,0 +1,112 @@
+"""GridMedium: the paper's cube model — thresholds, capture, interference."""
+
+import pytest
+
+from repro.phy.grid_medium import GridMedium, snap_to_cube_center
+from repro.sim.kernel import Simulator
+from tests.phy.conftest import RecordingPort, data
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=1)
+
+
+@pytest.fixture
+def grid(sim):
+    return GridMedium(sim)
+
+
+def port_at(grid, name, x, y=0.5, z=0.5):
+    port = RecordingPort(name, (x, y, z))
+    grid.attach(port)
+    return port
+
+
+def test_snap_to_cube_center():
+    assert snap_to_cube_center((0.0, 0.0, 0.0)) == (0.5, 0.5, 0.5)
+    assert snap_to_cube_center((1.9, 2.1, 3.5)) == (1.5, 2.5, 3.5)
+    assert snap_to_cube_center((-0.2, 0.0, 0.0))[0] == -0.5
+
+
+def test_reception_threshold_is_strength_at_10_feet(grid):
+    # Paper: "greater than some threshold (the signal strength at 10 feet)".
+    a = port_at(grid, "A", 0.0)
+    near = port_at(grid, "N", 9.0)
+    far = port_at(grid, "F", 12.0)
+    assert grid.in_range(a, near)
+    assert not grid.in_range(a, far)
+
+
+def test_delivery_within_range_only(sim, grid):
+    a = port_at(grid, "A", 0.0)
+    b = port_at(grid, "B", 5.0)
+    c = port_at(grid, "C", 20.0)
+    grid.transmit(a, data("A", "B"))
+    sim.run()
+    assert len(b.clean_frames()) == 1
+    assert c.frames == []
+
+
+def test_capture_close_signal_survives_far_interferer(sim, grid):
+    # Receiver at 2 ft from A, interferer at 9 ft: distance ratio 4.5 is
+    # far beyond the ~1.5 needed for 10 dB capture (γ=6).
+    a = port_at(grid, "A", 0.0)
+    b = port_at(grid, "B", 2.0)
+    x = port_at(grid, "X", 11.0)  # 9 ft from B, still in B's range
+    grid.transmit(a, data("A", "B"))
+    grid.transmit(x, data("X", "Y"))
+    sim.run()
+    assert len(b.clean_frames()) == 1
+
+
+def test_no_capture_at_similar_distances(sim, grid):
+    a = port_at(grid, "A", 0.0)
+    b = port_at(grid, "B", 4.0)
+    x = port_at(grid, "X", 9.0)  # 5 ft from B: ratio 1.25 < ~1.47 needed
+    grid.transmit(a, data("A", "B"))
+    grid.transmit(x, data("X", "Y"))
+    sim.run()
+    assert b.clean_frames() == []
+
+
+def test_subthreshold_interferers_still_sum(sim, grid):
+    # Paper: interference is "the sum of the other signals" — even those
+    # below the reception threshold.  A is at the edge of B's range; two
+    # out-of-range interferers together push SINR below 10 dB.
+    a = port_at(grid, "A", 0.0)
+    b = port_at(grid, "B", 9.0)
+    x1 = port_at(grid, "X1", 9.0, y=11.5)   # ~11.5 ft from B
+    x2 = port_at(grid, "X2", 9.0, y=-11.5)
+    assert not grid.in_range(x1, b)
+    grid.transmit(a, data("A", "B"))
+    grid.transmit(x1, data("X1", "Y"))
+    grid.transmit(x2, data("X2", "Y"))
+    sim.run()
+    assert b.clean_frames() == []
+
+
+def test_capture_requires_10db(grid):
+    a = port_at(grid, "A", 0.0)
+    b = port_at(grid, "B", 2.0)
+    # power_between is symmetric in distance
+    assert grid.power_between(a, b) == grid.power_between(b, a)
+
+
+def test_positions_snap_to_same_cube(grid):
+    a = port_at(grid, "A", 0.2, y=0.3)
+    b = port_at(grid, "B", 5.1)
+    c = port_at(grid, "C", 5.4)  # same cube as B
+    assert grid.power_between(a, b) == grid.power_between(a, c)
+
+
+def test_mobile_station_position_read_at_transmit_time(sim, grid):
+    a = port_at(grid, "A", 0.0)
+    b = port_at(grid, "B", 30.0)
+    grid.transmit(a, data("A", "B"))
+    sim.run()
+    assert b.frames == []
+    b.position = (5.0, 0.5, 0.5)  # B moves into range
+    grid.transmit(a, data("A", "B"))
+    sim.run()
+    assert len(b.clean_frames()) == 1

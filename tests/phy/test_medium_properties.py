@@ -1,0 +1,107 @@
+"""Property-based tests on medium invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.graph_medium import GraphMedium
+from repro.sim.kernel import Simulator
+from tests.phy.conftest import RecordingPort, data
+
+
+# Random transmission schedules: (sender index, start time) pairs.
+schedules = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=3),
+              st.floats(min_value=0.0, max_value=0.5, allow_nan=False)),
+    min_size=1,
+    max_size=25,
+)
+
+
+def build_clique(n=4):
+    sim = Simulator(seed=0)
+    medium = GraphMedium(sim)
+    ports = []
+    for i in range(n):
+        port = RecordingPort(f"S{i}")
+        medium.attach(port)
+        ports.append(port)
+    medium.connect_clique(ports)
+    return sim, medium, ports
+
+
+@given(schedules)
+@settings(max_examples=60, deadline=None)
+def test_every_transmission_completes_exactly_once(plan):
+    sim, medium, ports = build_clique()
+    started = []
+
+    def try_send(i):
+        sender = ports[i]
+        if not medium.is_transmitting(sender):
+            tx = medium.transmit(sender, data(sender.name, "S9"))
+            started.append(tx)
+
+    for i, at in plan:
+        sim.at(at, try_send, i)
+    sim.run()
+    completed = [tx for port in ports for tx in port.completed]
+    assert sorted(map(id, completed)) == sorted(map(id, started))
+    assert not medium.active_transmissions()
+
+
+@given(schedules)
+@settings(max_examples=60, deadline=None)
+def test_clean_reception_implies_no_overlap_from_others(plan):
+    """In a clique with no capture, a clean frame means no other
+    transmission overlapped it in (strictly) positive measure."""
+    sim, medium, ports = build_clique()
+    log = []  # (sender, start, end)
+
+    def try_send(i):
+        sender = ports[i]
+        if not medium.is_transmitting(sender):
+            tx = medium.transmit(sender, data(sender.name, "S9"))
+            log.append((sender.name, tx.start, tx.end, tx))
+
+    for i, at in plan:
+        sim.at(at, try_send, i)
+    sim.run()
+
+    for port in ports:
+        for frame in port.clean_frames():
+            start, end = next(
+                (s, e) for name, s, e, tx in log if tx.frame is frame
+            )
+            for name, s, e, tx in log:
+                if tx.frame is frame:
+                    continue
+                overlap = min(end, e) - max(start, s)
+                assert overlap <= 1e-12, (
+                    f"{port.name} cleanly received {frame.src}'s frame "
+                    f"despite overlap with {name}"
+                )
+
+
+@given(schedules)
+@settings(max_examples=60, deadline=None)
+def test_carrier_events_balance(plan):
+    """Every carrier-busy notification has a matching idle notification
+    once the medium drains, and they strictly alternate."""
+    sim, medium, ports = build_clique()
+
+    def try_send(i):
+        sender = ports[i]
+        if not medium.is_transmitting(sender):
+            medium.transmit(sender, data(sender.name, "S9"))
+
+    for i, at in plan:
+        sim.at(at, try_send, i)
+    sim.run()
+    for port in ports:
+        events = port.carrier_events
+        for a, b in zip(events, events[1:]):
+            assert a != b, "carrier events must alternate"
+        if events:
+            assert events[0] is True
+            assert events[-1] is False
+        assert not medium.carrier_sensed(port)

@@ -1,0 +1,114 @@
+"""Noise models: uniform PER, located sources, per-link, time windows."""
+
+import pytest
+
+from repro.phy.noise import (
+    LinkErrorModel,
+    NoiseSource,
+    PacketErrorModel,
+    TimeWindowErrorModel,
+)
+from repro.sim.kernel import Simulator
+from tests.phy.conftest import data, make_ports
+
+
+def run_deliveries(sim, graph, n=400):
+    """Transmit n frames A→B sequentially; return clean count."""
+    a, b = make_ports(graph, "A", "B")
+    graph.set_link(a, b)
+    airtime = graph.airtime(512)
+    for i in range(n):
+        sim.at(i * (airtime + 1e-4), lambda: graph.transmit(a, data("A", "B")))
+    sim.run()
+    return len(b.clean_frames()), len(b.corrupt_frames())
+
+
+def test_zero_error_rate_never_drops(sim, graph):
+    graph.add_noise_model(PacketErrorModel(0.0))
+    clean, corrupt = run_deliveries(sim, graph, n=100)
+    assert clean == 100 and corrupt == 0
+
+
+def test_error_rate_one_always_drops(sim, graph):
+    graph.add_noise_model(PacketErrorModel(1.0))
+    clean, corrupt = run_deliveries(sim, graph, n=50)
+    assert clean == 0 and corrupt == 50
+
+
+def test_error_rate_statistics(sim, graph):
+    model = PacketErrorModel(0.1)
+    graph.add_noise_model(model)
+    clean, corrupt = run_deliveries(sim, graph, n=1000)
+    assert 60 <= corrupt <= 150  # ~100 expected
+    assert model.drops_count == corrupt
+
+
+def test_invalid_error_rate_rejected():
+    with pytest.raises(ValueError):
+        PacketErrorModel(1.5)
+    with pytest.raises(ValueError):
+        PacketErrorModel(-0.1)
+
+
+def test_receiver_restriction(sim, graph):
+    a, b, c = make_ports(graph, "A", "B", "C")
+    graph.connect_clique([a, b, c])
+    graph.add_noise_model(PacketErrorModel(1.0, receivers=["C"]))
+    graph.transmit(a, data("A", "B"))
+    sim.run()
+    assert len(b.clean_frames()) == 1  # B unaffected
+    assert len(c.corrupt_frames()) == 1  # C destroyed
+
+
+def test_link_error_model_is_directional(sim, graph):
+    a, b = make_ports(graph, "A", "B")
+    graph.set_link(a, b)
+    graph.add_noise_model(LinkErrorModel([("A", "B")], 1.0))
+    graph.transmit(a, data("A", "B"))
+    sim.run()
+    assert b.clean_frames() == []
+    graph.transmit(b, data("B", "A"))
+    sim.run()
+    assert len(a.clean_frames()) == 1  # reverse direction untouched
+
+
+def test_noise_source_radius(sim, graph):
+    a, b, c = make_ports(
+        graph, "A", "B", "C",
+        positions=[(0, 0, 0), (3, 0, 0), (50, 0, 0)],
+    )
+    graph.set_link(a, b)
+    graph.set_link(a, c)
+    graph.add_noise_model(NoiseSource(position=(3, 0, 0), radius_ft=5.0, error_rate=1.0))
+    graph.transmit(a, data("A", "B"))
+    sim.run()
+    assert b.clean_frames() == []       # inside the noise radius
+    assert len(c.clean_frames()) == 1   # far away
+
+
+def test_noise_source_requires_positive_radius():
+    with pytest.raises(ValueError):
+        NoiseSource((0, 0, 0), radius_ft=0.0, error_rate=0.5)
+
+
+def test_time_window_model(sim, graph):
+    a, b = make_ports(graph, "A", "B")
+    graph.set_link(a, b)
+    airtime = graph.airtime(512)
+    graph.add_noise_model(TimeWindowErrorModel(1.0, start=1.0, end=2.0))
+    sim.at(0.0, lambda: graph.transmit(a, data("A", "B")))       # delivered ~0.016
+    sim.at(1.5, lambda: graph.transmit(a, data("A", "B")))       # inside window
+    sim.at(3.0, lambda: graph.transmit(a, data("A", "B")))       # after window
+    sim.run()
+    assert len(b.clean_frames()) == 2
+    assert len(b.corrupt_frames()) == 1
+
+
+def test_multiple_models_combine(sim, graph):
+    a, b = make_ports(graph, "A", "B")
+    graph.set_link(a, b)
+    graph.add_noise_model(PacketErrorModel(0.0))
+    graph.add_noise_model(LinkErrorModel([("A", "B")], 1.0))
+    graph.transmit(a, data("A", "B"))
+    sim.run()
+    assert b.clean_frames() == []

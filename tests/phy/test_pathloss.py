@@ -1,0 +1,79 @@
+"""Path-loss models."""
+
+import math
+
+import pytest
+
+from repro.phy.pathloss import (
+    FarFieldPathLoss,
+    MIN_DISTANCE_FT,
+    NearFieldPathLoss,
+    distance_ft,
+)
+
+
+def test_power_decays_monotonically():
+    model = NearFieldPathLoss()
+    powers = [model.received_power_mw(1.0, d) for d in (1, 2, 4, 8, 16)]
+    assert all(a > b for a, b in zip(powers, powers[1:]))
+
+
+def test_reference_distance_gives_tx_power():
+    model = NearFieldPathLoss(gamma=6.0, reference_ft=1.0)
+    assert math.isclose(model.received_power_mw(2.0, 1.0), 2.0)
+
+
+def test_gamma_exponent():
+    model = NearFieldPathLoss(gamma=6.0)
+    # Doubling distance costs 2^6 = 64x in power.
+    p1 = model.received_power_mw(1.0, 2.0)
+    p2 = model.received_power_mw(1.0, 4.0)
+    assert math.isclose(p1 / p2, 64.0)
+
+
+def test_far_field_is_inverse_square():
+    model = FarFieldPathLoss()
+    p1 = model.received_power_mw(1.0, 10.0)
+    p2 = model.received_power_mw(1.0, 20.0)
+    assert math.isclose(p1 / p2, 4.0)
+
+
+def test_min_distance_clamps_singularity():
+    model = NearFieldPathLoss()
+    assert model.received_power_mw(1.0, 0.0) == model.received_power_mw(
+        1.0, MIN_DISTANCE_FT
+    )
+
+
+def test_capture_distance_ratio_matches_paper():
+    # The paper: a 10 dB advantage needs a distance ratio of ~1.5 (§2.1).
+    model = NearFieldPathLoss(gamma=6.0)
+    ratio = model.capture_distance_ratio(10.0)
+    assert 1.4 < ratio < 1.6
+
+
+def test_range_for_threshold_inverts_the_model():
+    model = NearFieldPathLoss(gamma=6.0)
+    threshold = model.received_power_mw(1.0, 10.0)
+    assert math.isclose(model.range_for_threshold_ft(1.0, threshold), 10.0, rel_tol=1e-6)
+
+
+def test_range_for_threshold_zero_when_unreachable():
+    model = NearFieldPathLoss()
+    # Threshold above transmit power: no distance reaches it.
+    assert model.range_for_threshold_ft(1.0, 2.0) == 0.0
+
+
+def test_invalid_parameters_raise():
+    with pytest.raises(ValueError):
+        NearFieldPathLoss(gamma=0)
+    with pytest.raises(ValueError):
+        NearFieldPathLoss(reference_ft=0)
+    with pytest.raises(ValueError):
+        NearFieldPathLoss().range_for_threshold_ft(1.0, 0.0)
+
+
+def test_distance_ft():
+    assert distance_ft((0, 0, 0), (3, 4, 0)) == 5.0
+    assert distance_ft((1, 1, 1), (1, 1, 1)) == 0.0
+    assert math.isclose(distance_ft((0, 0, 0), (1, 1, 1)), math.sqrt(3))

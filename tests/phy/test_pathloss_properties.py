@@ -1,0 +1,49 @@
+"""Property-based tests for path-loss models."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.pathloss import NearFieldPathLoss
+
+gammas = st.floats(min_value=1.0, max_value=10.0, allow_nan=False)
+distances = st.floats(min_value=1.0, max_value=1000.0, allow_nan=False)
+powers = st.floats(min_value=1e-6, max_value=1e3, allow_nan=False)
+
+
+@given(gammas, powers, distances, distances)
+@settings(max_examples=200, deadline=None)
+def test_power_monotone_in_distance(gamma, tx, d1, d2):
+    model = NearFieldPathLoss(gamma=gamma)
+    lo, hi = sorted((d1, d2))
+    assert model.received_power_mw(tx, lo) >= model.received_power_mw(tx, hi)
+
+
+@given(gammas, powers, distances)
+@settings(max_examples=200, deadline=None)
+def test_power_linear_in_tx_power(gamma, tx, d):
+    model = NearFieldPathLoss(gamma=gamma)
+    assert model.received_power_mw(2 * tx, d) == (
+        2 * model.received_power_mw(tx, d)
+    )
+
+
+@given(gammas, powers, st.floats(min_value=2.0, max_value=500.0))
+@settings(max_examples=100, deadline=None)
+def test_range_inversion_round_trip(gamma, tx, d):
+    model = NearFieldPathLoss(gamma=gamma)
+    threshold = model.received_power_mw(tx, d)
+    recovered = model.range_for_threshold_ft(tx, threshold)
+    assert abs(recovered - d) / d < 1e-6
+
+
+@given(gammas)
+@settings(max_examples=100, deadline=None)
+def test_capture_ratio_definition(gamma):
+    import math
+
+    model = NearFieldPathLoss(gamma=gamma)
+    ratio = model.capture_distance_ratio(10.0)
+    # A signal from distance d and an interferer at d*ratio differ by 10 dB.
+    near = model.received_power_mw(1.0, 10.0)
+    far = model.received_power_mw(1.0, 10.0 * ratio)
+    assert abs(10.0 * math.log10(near / far) - 10.0) < 1e-6

@@ -1,0 +1,62 @@
+"""Decibel/power arithmetic."""
+
+import math
+
+import pytest
+
+from repro.phy.signal import (
+    db_to_ratio,
+    dbm_to_mw,
+    mw_to_dbm,
+    ratio_to_db,
+    sinr_ok,
+    sum_powers_mw,
+)
+
+
+def test_db_ratio_roundtrip():
+    for db in (-30.0, -3.0, 0.0, 3.0, 10.0, 20.0):
+        assert math.isclose(ratio_to_db(db_to_ratio(db)), db, abs_tol=1e-9)
+
+
+def test_known_db_values():
+    assert math.isclose(db_to_ratio(10.0), 10.0)
+    assert math.isclose(db_to_ratio(0.0), 1.0)
+    assert math.isclose(db_to_ratio(3.0), 10 ** 0.3)
+
+
+def test_ratio_to_db_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        ratio_to_db(0.0)
+    with pytest.raises(ValueError):
+        ratio_to_db(-1.0)
+
+
+def test_dbm_mw_roundtrip():
+    for dbm in (-40.0, 0.0, 17.0):
+        assert math.isclose(mw_to_dbm(dbm_to_mw(dbm)), dbm, abs_tol=1e-9)
+
+
+def test_mw_to_dbm_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        mw_to_dbm(0.0)
+
+
+def test_sum_powers_is_linear():
+    assert math.isclose(sum_powers_mw([1.0, 2.0, 3.0]), 6.0)
+    assert sum_powers_mw([]) == 0.0
+
+
+def test_sum_powers_rejects_negative():
+    with pytest.raises(ValueError):
+        sum_powers_mw([1.0, -0.5])
+
+
+def test_sinr_ok_boundaries():
+    # Exactly 10 dB above: passes.
+    assert sinr_ok(10.0, 1.0, 10.0)
+    # Just below 10 dB: fails.
+    assert not sinr_ok(9.99, 1.0, 10.0)
+    # No interference always passes; no signal never does.
+    assert sinr_ok(1e-12, 0.0, 10.0)
+    assert not sinr_ok(0.0, 0.0, 10.0)

@@ -1,0 +1,210 @@
+"""Kernel scheduling semantics."""
+
+import pytest
+
+from repro.sim.kernel import SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_schedule_and_run_fires_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, fired.append, "b")
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(3.0, fired.append, "c")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_clock_advances_to_event_times():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.5, lambda: seen.append(sim.now))
+    sim.schedule(4.25, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [1.5, 4.25]
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    sim = Simulator()
+    fired = []
+    for tag in range(5):
+        sim.schedule(1.0, fired.append, tag)
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_priority_overrides_scheduling_order_at_ties():
+    sim = Simulator()
+    fired = []
+    sim.at(1.0, fired.append, "normal")
+    sim.at(1.0, fired.append, "early", priority=-1)
+    sim.run()
+    assert fired == ["early", "normal"]
+
+
+def test_run_until_is_inclusive():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, fired.append, "edge")
+    sim.schedule(5.0001, fired.append, "past")
+    sim.run(until=5.0)
+    assert fired == ["edge"]
+    assert sim.now == 5.0
+
+
+def test_run_until_advances_clock_past_queue_exhaustion():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+
+
+def test_consecutive_runs_continue():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(7.0, fired.append, 7)
+    sim.run(until=5.0)
+    assert fired == [1]
+    sim.run(until=10.0)
+    assert fired == [1, 7]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "x")
+    assert handle.cancel()
+    sim.run()
+    assert fired == []
+    assert handle.cancelled
+
+
+def test_cancel_twice_returns_false():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    assert handle.cancel()
+    assert not handle.cancel()
+
+
+def test_cancel_after_fire_returns_false():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert handle.fired
+    assert not handle.cancel()
+
+
+def test_events_scheduled_during_run_fire():
+    sim = Simulator()
+    fired = []
+
+    def chain():
+        fired.append(sim.now)
+        if sim.now < 3.0:
+            sim.schedule(1.0, chain)
+
+    sim.schedule(1.0, chain)
+    sim.run()
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_call_soon_runs_at_current_instant_after_pending():
+    sim = Simulator()
+    fired = []
+
+    def first():
+        fired.append("first")
+        sim.call_soon(fired.append, "soon")
+
+    sim.at(1.0, first)
+    sim.at(1.0, fired.append, "second")
+    sim.run()
+    assert fired == ["first", "second", "soon"]
+
+
+def test_scheduling_in_the_past_raises():
+    sim = Simulator()
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(1.0, lambda: None)
+
+
+def test_negative_delay_raises():
+    with pytest.raises(SimulationError):
+        Simulator().schedule(-0.1, lambda: None)
+
+
+def test_run_until_in_past_raises():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.run(until=1.0)
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(2.0, lambda: (fired.append(2), sim.stop()))
+    sim.schedule(3.0, fired.append, 3)
+    sim.run()
+    assert fired == [1, 2]
+    assert sim.peek() == 3.0
+
+
+def test_step_fires_exactly_one_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(2.0, fired.append, 2)
+    assert sim.step()
+    assert fired == [1]
+    assert sim.step()
+    assert not sim.step()
+
+
+def test_peek_skips_cancelled():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    handle.cancel()
+    assert sim.peek() == 2.0
+
+
+def test_pending_count_excludes_cancelled():
+    sim = Simulator()
+    keep = sim.schedule(1.0, lambda: None)
+    drop = sim.schedule(2.0, lambda: None)
+    drop.cancel()
+    assert sim.pending_count() == 1
+    assert keep.pending
+
+
+def test_events_fired_counter():
+    sim = Simulator()
+    for _ in range(4):
+        sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.events_fired == 4
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def nested():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(1.0, nested)
+    sim.run()
+    assert len(errors) == 1

@@ -1,0 +1,77 @@
+"""Property-based tests for the event kernel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.kernel import Simulator
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=60,
+)
+
+
+@given(delays)
+@settings(max_examples=100, deadline=None)
+def test_events_fire_in_nondecreasing_time_order(values):
+    sim = Simulator()
+    seen = []
+    for d in values:
+        sim.schedule(d, lambda: seen.append(sim.now))
+    sim.run()
+    assert len(seen) == len(values)
+    assert seen == sorted(seen)
+
+
+@given(delays)
+@settings(max_examples=100, deadline=None)
+def test_clock_never_goes_backwards(values):
+    sim = Simulator()
+    clocks = []
+    for d in values:
+        sim.schedule(d, lambda: clocks.append(sim.now))
+    last = sim.run()
+    assert last == max(values)
+    assert all(a <= b for a, b in zip(clocks, clocks[1:]))
+
+
+@given(delays, st.sets(st.integers(min_value=0, max_value=59)))
+@settings(max_examples=100, deadline=None)
+def test_cancelled_subset_never_fires(values, cancel_indices):
+    sim = Simulator()
+    fired = []
+    handles = [sim.schedule(d, fired.append, i) for i, d in enumerate(values)]
+    cancelled = {i for i in cancel_indices if i < len(handles)}
+    for i in cancelled:
+        handles[i].cancel()
+    sim.run()
+    assert set(fired) == set(range(len(values))) - cancelled
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=10, allow_nan=False),
+                          st.integers(min_value=-2, max_value=2)),
+                min_size=1, max_size=40))
+@settings(max_examples=100, deadline=None)
+def test_priority_order_within_instant(items):
+    sim = Simulator()
+    fired = []
+    for time, priority in items:
+        sim.at(time, fired.append, (time, priority), priority=priority)
+    sim.run()
+    # Per instant, priorities must be non-decreasing.
+    for (t1, p1), (t2, p2) in zip(fired, fired[1:]):
+        if t1 == t2:
+            assert p1 <= p2
+
+
+@given(delays)
+@settings(max_examples=50, deadline=None)
+def test_step_drains_exactly_all_events(values):
+    sim = Simulator()
+    for d in values:
+        sim.schedule(d, lambda: None)
+    steps = 0
+    while sim.step():
+        steps += 1
+    assert steps == len(values)

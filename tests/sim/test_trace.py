@@ -1,0 +1,60 @@
+"""Trace recorder behaviour."""
+
+from repro.sim.trace import Trace, TraceRecord
+
+
+def test_disabled_trace_records_nothing():
+    trace = Trace(enabled=False)
+    trace.record(1.0, "send", "P1", frame="RTS")
+    assert len(trace) == 0
+
+
+def test_record_and_iterate():
+    trace = Trace()
+    trace.record(1.0, "send", "P1", frame="RTS")
+    trace.record(2.0, "send", "P2", frame="CTS")
+    assert [r.station for r in trace] == ["P1", "P2"]
+
+
+def test_select_by_category_and_station():
+    trace = Trace()
+    trace.record(1.0, "send", "P1")
+    trace.record(2.0, "state", "P1")
+    trace.record(3.0, "send", "P2")
+    assert len(trace.select(category="send")) == 2
+    assert len(trace.select(station="P1")) == 2
+    assert len(trace.select(category="send", station="P1")) == 1
+
+
+def test_counts_histogram():
+    trace = Trace()
+    trace.record(1.0, "send", "P1")
+    trace.record(2.0, "send", "P1")
+    trace.record(3.0, "state", "P2")
+    assert trace.counts() == {("send", "P1"): 2, ("state", "P2"): 1}
+
+
+def test_capacity_drops_and_counts():
+    trace = Trace(capacity=2)
+    for t in range(5):
+        trace.record(float(t), "send", "P1")
+    assert len(trace) == 2
+    assert trace.dropped == 3
+
+
+def test_clear_resets():
+    trace = Trace(capacity=1)
+    trace.record(0.0, "a", "s")
+    trace.record(1.0, "a", "s")
+    trace.clear()
+    assert len(trace) == 0
+    assert trace.dropped == 0
+    assert trace.enabled
+
+
+def test_record_is_frozen():
+    record = TraceRecord(1.0, "send", "P1", {"k": 1})
+    assert record.matches(category="send")
+    assert not record.matches(category="state")
+    assert record.matches(station="P1")
+    assert not record.matches(station="P2")

@@ -1,0 +1,37 @@
+"""CLI behaviour."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_prints_every_experiment(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for exp_id in ("table1", "table11", "fig1", "ablation-multicast"):
+        assert exp_id in out
+
+
+def test_unknown_experiment_returns_2(capsys):
+    assert main(["table99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_runs_one_experiment_and_reports(capsys):
+    code = main(["table9", "--duration", "60", "--warmup", "10"])
+    out = capsys.readouterr().out
+    assert "Table 9" in out
+    assert "MACA" in out and "MACAW" in out
+    assert "(paper)" in out
+    assert "seed 0" in out
+    assert code in (0, 1)  # checks may be noisy at 60 s; both are valid exits
+
+
+def test_no_paper_flag_hides_reference(capsys):
+    main(["table9", "--duration", "60", "--warmup", "10", "--no-paper"])
+    assert "(paper)" not in capsys.readouterr().out
+
+
+def test_seed_flag_respected(capsys):
+    main(["table9", "--duration", "60", "--warmup", "10", "--seed", "7"])
+    assert "seed 7" in capsys.readouterr().out

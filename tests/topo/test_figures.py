@@ -1,0 +1,150 @@
+"""Figure topologies: connectivity must match the paper's text exactly."""
+
+import pytest
+
+from repro.topo import figures
+
+
+def connectivity(scenario):
+    """Set of frozenset({a, b}) links in the graph medium."""
+    medium = scenario.medium
+    links = set()
+    for port in medium.ports:
+        for peer in medium.neighbors(port):
+            links.add(frozenset({port.name, peer.name}))
+    return links
+
+
+def has_link(scenario, a, b):
+    return frozenset({a, b}) in connectivity(scenario)
+
+
+def test_fig1_chain():
+    scenario = figures.fig1_hidden_terminal().build()
+    assert has_link(scenario, "A", "B")
+    assert has_link(scenario, "B", "C")
+    assert has_link(scenario, "C", "D")
+    assert not has_link(scenario, "A", "C")  # hidden from each other
+    assert not has_link(scenario, "B", "D")
+
+
+def test_fig2_single_cell():
+    scenario = figures.fig2_two_pads().build()
+    for pair in (("B", "P1"), ("B", "P2"), ("P1", "P2")):
+        assert has_link(scenario, *pair)
+    assert set(scenario.streams) == {"P1-B", "P2-B"}
+
+
+def test_fig2_grid_variant_is_geometric():
+    scenario = figures.fig2_two_pads(medium="grid").build()
+    medium = scenario.medium
+    b = scenario.station("B").mac
+    p1 = scenario.station("P1").mac
+    p2 = scenario.station("P2").mac
+    assert medium.in_range(b, p1) and medium.in_range(b, p2)
+    assert medium.in_range(p1, p2)
+    # Pads are 6 feet below the base (§3).
+    assert b.position[2] - p1.position[2] == pytest.approx(6.0)
+
+
+def test_fig3_six_pads():
+    scenario = figures.fig3_six_pads().build()
+    assert len(scenario.stations) == 7
+    assert len(scenario.streams) == 6
+
+
+def test_fig4_stream_directions():
+    scenario = figures.fig4_mixed_directions().build()
+    assert set(scenario.streams) == {"B-P1", "B-P2", "P3-B"}
+
+
+def test_fig5_exposed_terminals():
+    scenario = figures.fig5_exposed_pads().build()
+    assert has_link(scenario, "P1", "B1")
+    assert has_link(scenario, "P2", "B2")
+    assert has_link(scenario, "P1", "P2")     # the exposure
+    assert not has_link(scenario, "B1", "B2")
+    assert not has_link(scenario, "P1", "B2")
+    assert set(scenario.streams) == {"P1-B1", "P2-B2"}
+
+
+def test_fig6_is_fig5_reversed():
+    five = figures.fig5_exposed_pads().build()
+    six = figures.fig6_reversed_flows().build()
+    assert connectivity(five) == connectivity(six)
+    assert set(six.streams) == {"B1-P1", "B2-P2"}
+
+
+def test_fig7_mixed_direction():
+    scenario = figures.fig7_unsolved().build()
+    assert set(scenario.streams) == {"B1-P1", "P2-B2"}
+    assert has_link(scenario, "P1", "P2")
+
+
+def test_fig8_border_topology():
+    scenario = figures.fig8_leakage().build()
+    # Border pads P1-P5 mutually in range.
+    for i in range(1, 5):
+        assert has_link(scenario, f"P{i}", "P5")
+    # Interior pad P6 hears only its base.
+    assert not has_link(scenario, "P6", "P5")
+    assert has_link(scenario, "P6", "B2")
+    # No pad hears the other cell's base.
+    assert not has_link(scenario, "P1", "B2")
+    assert not has_link(scenario, "P5", "B1")
+
+
+def test_fig9_power_off_scheduled():
+    scenario = figures.fig9_dead_pad(power_off_at=3.0).build()
+    assert scenario.station("P1").powered
+    scenario.run(5.0)
+    assert not scenario.station("P1").powered
+    assert scenario.station("P2").powered
+
+
+def test_fig10_connectivity():
+    scenario = figures.fig10_three_cells().build()
+    # P1-P5 mutual range; each hears only its own base.
+    for i in range(1, 5):
+        assert has_link(scenario, f"P{i}", "P5")
+        assert has_link(scenario, f"P{i}", "B1")
+        assert not has_link(scenario, f"P{i}", "B2")
+    assert has_link(scenario, "P5", "B2")
+    assert not has_link(scenario, "P5", "B1")
+    # P6 straddles C2/C3.
+    assert has_link(scenario, "P6", "B2")
+    assert has_link(scenario, "P6", "B3")
+    assert not has_link(scenario, "P6", "P5")
+    assert len(scenario.streams) == 11
+
+
+def test_fig11_p7_arrives_at_300():
+    scenario = figures.fig11_office(p7_arrival_s=2.0).build()
+    assert not has_link(scenario, "P7", "B4")
+    scenario.run(3.0)
+    assert has_link(scenario, "P7", "B4")
+    assert has_link(scenario, "P7", "P1")
+    assert has_link(scenario, "P7", "P3")
+    assert not has_link(scenario, "P7", "P2")
+
+
+def test_fig11_intra_cell_and_cross_cell_links():
+    scenario = figures.fig11_office().build()
+    # C1 pads hear each other and B1.
+    for i in range(1, 5):
+        assert has_link(scenario, f"P{i}", "B1")
+    assert has_link(scenario, "P1", "P2")
+    # P4, P5, P6 hear each other (§3.5).
+    assert has_link(scenario, "P4", "P5")
+    assert has_link(scenario, "P4", "P6")
+    assert has_link(scenario, "P5", "P6")
+    assert len(scenario.streams) == 7
+
+
+def test_single_stream_cell_transports():
+    udp = figures.single_stream_cell(transport="udp").build()
+    assert "P-B" in udp.streams
+    tcp = figures.single_stream_cell(transport="tcp").build()
+    assert "P-B" in tcp.streams
+    with pytest.raises(ValueError):
+        figures.single_stream_cell(transport="sctp")

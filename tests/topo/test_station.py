@@ -1,0 +1,47 @@
+"""Station wrapper."""
+
+import pytest
+
+from repro.core.config import macaw_config
+from repro.core.macaw import MacawMac
+from repro.net.sink import FlowRecorder
+from repro.phy.graph_medium import GraphMedium
+from repro.sim.kernel import Simulator
+from repro.topo.station import Station
+
+
+def make_station(kind="pad"):
+    sim = Simulator()
+    medium = GraphMedium(sim)
+    mac = MacawMac(sim, medium, "S", config=macaw_config())
+    return Station("S", kind, mac, FlowRecorder())
+
+
+def test_kinds_validated():
+    make_station("pad")
+    make_station("base")
+    with pytest.raises(ValueError):
+        make_station("router")
+
+
+def test_position_delegates_to_mac():
+    station = make_station()
+    station.position = (1.0, 2.0, 3.0)
+    assert station.mac.position == (1.0, 2.0, 3.0)
+    assert station.position == (1.0, 2.0, 3.0)
+
+
+def test_power_cycle():
+    station = make_station()
+    assert station.powered
+    station.power_off()
+    assert not station.powered
+    assert not station.mac.powered
+    station.power_on()
+    assert station.powered
+
+
+def test_dispatcher_wired_to_mac():
+    station = make_station()
+    assert station.dispatcher.mac is station.mac
+    assert station.mac.on_deliver is not None

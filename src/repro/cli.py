@@ -6,6 +6,13 @@ Usage::
     macaw-sim table5
     macaw-sim table5 --seed 3 --duration 200
     macaw-sim all --duration 200
+    macaw-sim verify-trace table5
+    macaw-sim verify-trace all
+
+``verify-trace`` runs experiments with the protocol conformance sanitizer
+enabled: every station's trace is replayed through the statechart and
+dialogue checker (:mod:`repro.verify.conformance`) and any violation is
+reported and fails the command.
 """
 
 from __future__ import annotations
@@ -18,20 +25,13 @@ from typing import List, Optional
 from repro.experiments.registry import all_experiments, experiment_ids, get_experiment
 
 
-def _build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="macaw-sim",
-        description="MACAW (SIGCOMM '94) reproduction: run the paper's experiments.",
-    )
-    parser.add_argument(
-        "experiment",
-        help="experiment id (see 'list'), or 'all', or 'list'",
-    )
+def _add_run_options(parser: argparse.ArgumentParser, seeds: bool = True) -> None:
     parser.add_argument("--seed", type=int, default=0, help="master random seed")
-    parser.add_argument(
-        "--seeds", type=int, default=1,
-        help="run N seeds (seed..seed+N-1) and report means + pass rates",
-    )
+    if seeds:
+        parser.add_argument(
+            "--seeds", type=int, default=1,
+            help="run N seeds (seed..seed+N-1) and report means + pass rates",
+        )
     parser.add_argument(
         "--duration", type=float, default=None,
         help="simulated seconds per run (default: experiment-specific)",
@@ -44,11 +44,75 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-paper", action="store_true",
         help="hide the paper's reference columns",
     )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="macaw-sim",
+        description="MACAW (SIGCOMM '94) reproduction: run the paper's experiments.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see 'list'), or 'all', 'list', or 'verify-trace'",
+    )
+    _add_run_options(parser)
     return parser
 
 
+def _resolve_experiments(selector: str) -> Optional[list]:
+    """Experiments named by ``selector`` ('all' or an id); None if unknown."""
+    if selector == "all":
+        return all_experiments()
+    try:
+        return [get_experiment(selector)]
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return None
+
+
+def _cmd_verify_trace(argv: List[str]) -> int:
+    """Run experiments under the conformance sanitizer; nonzero on violations."""
+    from repro.verify.conformance import ConformanceError
+    from repro.verify.runtime import sanitized
+
+    parser = argparse.ArgumentParser(
+        prog="macaw-sim verify-trace",
+        description="Replay experiment traces through the protocol "
+        "conformance sanitizer.",
+    )
+    parser.add_argument(
+        "experiment", help="experiment id (see 'list'), or 'all'",
+    )
+    _add_run_options(parser, seeds=False)
+    args = parser.parse_args(argv)
+
+    experiments = _resolve_experiments(args.experiment)
+    if experiments is None:
+        return 2
+
+    clean = True
+    for exp in experiments:
+        with sanitized(True) as stats:
+            try:
+                exp.run(seed=args.seed, duration=args.duration, warmup=args.warmup)
+            except ConformanceError as exc:
+                clean = False
+                print(f"{exp.spec.exp_id:24} CONFORMANCE VIOLATIONS")
+                print(exc.report.render())
+                continue
+        print(
+            f"{exp.spec.exp_id:24} OK "
+            f"({stats.records} trace records, {stats.runs} scenario runs)"
+        )
+    return 0 if clean else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    args = _build_parser().parse_args(argv)
+    raw = list(sys.argv[1:] if argv is None else argv)
+    if raw and raw[0] == "verify-trace":
+        return _cmd_verify_trace(raw[1:])
+
+    args = _build_parser().parse_args(raw)
 
     if args.experiment == "list":
         for exp_id in experiment_ids():
@@ -56,22 +120,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{exp_id:24} {exp.spec.title}")
         return 0
 
-    if args.experiment == "all":
-        experiments = all_experiments()
-    else:
-        try:
-            experiments = [get_experiment(args.experiment)]
-        except KeyError as exc:
-            print(exc.args[0], file=sys.stderr)
-            return 2
+    experiments = _resolve_experiments(args.experiment)
+    if experiments is None:
+        return 2
 
     all_passed = True
     for exp in experiments:
-        started = time.perf_counter()
+        started = time.perf_counter()  # repro-lint: allow=REPRO102 (wall-time report)
         if args.seeds > 1:
             seeds = range(args.seed, args.seed + args.seeds)
             sweep = exp.run_seeds(seeds, duration=args.duration, warmup=args.warmup)
-            elapsed = time.perf_counter() - started
+            elapsed = time.perf_counter() - started  # repro-lint: allow=REPRO102
             print(sweep.mean_table().render(show_paper=not args.no_paper))
             rates = sweep.check_pass_rates()
             for name, rate in rates.items():
@@ -81,7 +140,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             all_passed = all_passed and all(r == 1.0 for r in rates.values())
             continue
         result = exp.run(seed=args.seed, duration=args.duration, warmup=args.warmup)
-        elapsed = time.perf_counter() - started
+        elapsed = time.perf_counter() - started  # repro-lint: allow=REPRO102
         print(result.table.render(show_paper=not args.no_paper))
         for name, ok in result.checks.items():
             print(f"  [{'PASS' if ok else 'FAIL'}] {name}")

@@ -18,8 +18,8 @@ from repro.core.backoff import (
     make_backoff,
 )
 from repro.core.streams import StreamQueue, QueuedPacket
-from repro.core.macaw import MacawMac, macaw_config
-from repro.core.config import ProtocolConfig
+from repro.core.macaw import MacawMac
+from repro.core.config import ProtocolConfig, macaw_config
 
 __all__ = [
     "BackoffAlgorithm",

@@ -25,7 +25,7 @@ state machine generates: attempt, success, timeout, give-up, frame heard.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.core.config import ProtocolConfig

@@ -34,10 +34,10 @@ Implementation notes (documented deviations are listed in DESIGN.md):
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Optional, Set, Tuple
 
 from repro.core.backoff import BackoffBook
-from repro.core.config import MACAW_CONFIG, ProtocolConfig, macaw_config
+from repro.core.config import MACAW_CONFIG, ProtocolConfig
 from repro.core.streams import QueuedPacket, StreamQueue
 from repro.mac.base import BaseMac, MacState
 from repro.mac.frames import (
@@ -91,7 +91,7 @@ class MacawMac(BaseMac):
         self._acked_esn: Dict[str, int] = {}
         #: All DATA esns received per sender (piggyback confirmation can be
         #: queried out of order once resurrections reorder the stream).
-        self._received_esns: Dict[str, set] = {}
+        self._received_esns: Dict[str, Set[int]] = {}
         #: §4 extensions: packets completed optimistically (piggyback ACK
         #: or NACK mode) awaiting confirmation, per destination.
         self._unconfirmed: Dict[str, QueuedPacket] = {}
@@ -143,6 +143,11 @@ class MacawMac(BaseMac):
 
     def _maybe_contend(self) -> None:
         """Move from a completed/aborted exchange toward the next one."""
+        if not self.powered:
+            # A dead radio must never contend.  Reachable only through a
+            # callback that slipped past the power-off reset (the medium
+            # guards transmit-complete, but belt-and-braces here).
+            return
         if not self._has_work():
             self._set_state(MacState.IDLE)
             return

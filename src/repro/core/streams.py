@@ -20,7 +20,7 @@ from __future__ import annotations
 import itertools
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, List, Optional, Tuple
+from typing import Any, Deque, Dict, List, Optional
 
 _packet_counter = itertools.count(1)
 

@@ -16,18 +16,18 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Optional
+from typing import Any, Final, Iterator, Optional
 
 #: Destination name denoting a multicast frame (§3.3.4).
-MULTICAST = "*"
+MULTICAST: Final[str] = "*"
 
 #: Sentinel for an unknown remote backoff (Appendix B.2).
-I_DONT_KNOW: Optional[float] = None
+I_DONT_KNOW: Final[Optional[float]] = None
 
 #: Size of every control frame, bytes (§3: "control packets ... are 30 bytes").
-CONTROL_BYTES = 30
+CONTROL_BYTES: Final[int] = 30
 
-_frame_ids = itertools.count(1)
+_frame_ids: Iterator[int] = itertools.count(1)
 
 
 class FrameType(Enum):

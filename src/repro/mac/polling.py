@@ -27,9 +27,9 @@ configurable inter-poll gap.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
-from repro.core.streams import QueuedPacket, StreamQueue
+from repro.core.streams import StreamQueue
 from repro.mac.base import BaseMac
 from repro.mac.frames import Frame, FrameType, control_frame, data_frame
 from repro.mac.timing import MacTiming

@@ -12,7 +12,7 @@ is no capture in this model.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, Iterable, List, Set
 
 from repro.phy.medium import Medium, MediumError, ReceiverPort, Transmission
 from repro.sim.kernel import Simulator

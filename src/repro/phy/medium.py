@@ -29,7 +29,7 @@ re-check.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set, TYPE_CHECKING
+from typing import Any, Dict, List, Set, TYPE_CHECKING
 
 from repro.sim.kernel import Simulator
 
@@ -216,6 +216,7 @@ class Medium:
         self._active.discard(tx)
         if self._transmitting.get(tx.sender) is tx:
             del self._transmitting[tx.sender]
+        trace = self.sim.trace
         for port, corrupted in tx.receptions.items():
             if port not in self._carrier_count:
                 continue  # detached mid-flight
@@ -225,8 +226,24 @@ class Medium:
                 self.clean_deliveries += 1
             else:
                 self.corrupt_deliveries += 1
+            if trace.enabled:
+                trace.record(
+                    self.sim.now, "recv", port.name,
+                    frame=tx.frame.describe(),
+                    kind=tx.frame.kind.value,
+                    src=tx.frame.src,
+                    dst=tx.frame.dst,
+                    esn=tx.frame.esn,
+                    size=tx.frame.size_bytes,
+                    clean=clean,
+                )
             port.on_frame(tx.frame, clean)
-        tx.sender.on_transmit_complete(tx)
+        # A powered-off radio does not observe its own transmit completion
+        # (its last frame still occupied the air; see detach()).  Without
+        # this check a dead station's completion callback could restart
+        # its contention machinery and spin until the simulation horizon.
+        if tx.sender in self._carrier_count:
+            tx.sender.on_transmit_complete(tx)
 
     def _noise_drops(self, tx: Transmission, receiver: ReceiverPort) -> bool:
         for model in self._noise_models:

@@ -13,7 +13,7 @@ perturb protocol or traffic randomness.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, Set, Tuple, TYPE_CHECKING
+from typing import Iterable, Optional, Set, Tuple, TYPE_CHECKING
 
 from repro.phy.pathloss import distance_ft
 from repro.sim.kernel import Simulator

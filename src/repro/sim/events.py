@@ -10,12 +10,12 @@ surgery, which matters because MAC state machines cancel timers constantly.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Optional, Tuple
+from typing import Any, Callable, Iterator, Optional, Tuple
 
 #: Monotonic tie-break counter shared by all simulators in the process.  Two
 #: events scheduled for the same instant fire in scheduling order, which makes
 #: runs reproducible regardless of heap internals.
-_sequence = itertools.count()
+_sequence: Iterator[int] = itertools.count()
 
 
 class EventHandle:
@@ -31,6 +31,14 @@ class EventHandle:
 
     __slots__ = ("time", "priority", "seq", "callback", "args", "_cancelled", "_fired")
 
+    time: float
+    priority: int
+    seq: int
+    callback: Optional[Callable[..., Any]]
+    args: Tuple[Any, ...]
+    _cancelled: bool
+    _fired: bool
+
     def __init__(
         self,
         time: float,
@@ -41,7 +49,7 @@ class EventHandle:
         self.time = time
         self.priority = priority
         self.seq = next(_sequence)
-        self.callback: Optional[Callable[..., Any]] = callback
+        self.callback = callback
         self.args = args
         self._cancelled = False
         self._fired = False

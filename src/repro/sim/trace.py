@@ -9,6 +9,7 @@ of a 2000-second run is expensive.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
@@ -72,6 +73,23 @@ class Trace:
         """Discard all records (keeps the enabled flag)."""
         self._records.clear()
         self.dropped = 0
+
+    def digest(self) -> str:
+        """SHA-256 over a canonical rendering of every record.
+
+        Two runs of the same scenario under the same seed must produce
+        byte-identical digests — the determinism regression tests compare
+        exactly this.  Detail dicts are serialized with sorted keys and
+        ``repr`` values, so insertion order cannot leak into the digest.
+        """
+        hasher = hashlib.sha256()
+        for record in self._records:
+            detail = ",".join(
+                f"{key}={record.detail[key]!r}" for key in sorted(record.detail)
+            )
+            line = f"{record.time!r}|{record.category}|{record.station}|{detail}\n"
+            hasher.update(line.encode("utf-8"))
+        return hasher.hexdigest()
 
     def __len__(self) -> int:
         return len(self._records)

@@ -20,16 +20,16 @@ Example (the paper's Figure 2)::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.core.config import MACA_CONFIG, MACAW_CONFIG, ProtocolConfig
+from repro.core.config import MACA_CONFIG, MACAW_CONFIG
 from repro.core.macaw import MacawMac
 from repro.mac.base import BaseMac
 from repro.mac.csma import CsmaConfig, CsmaMac
 from repro.mac.timing import MacTiming
 from repro.net.sink import FlowRecorder
-from repro.net.tcp import TcpConfig, TcpStream
+from repro.net.tcp import TcpStream
 from repro.net.udp import UdpStream
 from repro.phy.graph_medium import GraphMedium
 from repro.phy.grid_medium import GridMedium
@@ -38,6 +38,12 @@ from repro.phy.noise import PacketErrorModel
 from repro.sim.kernel import Simulator
 from repro.sim.trace import Trace
 from repro.topo.station import Station
+from repro.verify.conformance import (
+    ConformanceError,
+    ConformanceReport,
+    check_scenario,
+)
+from repro.verify.runtime import note_report, sanitize_enabled
 
 #: Default warm-up excluded from throughput measurements (§3: "a warmup
 #: period of 50 seconds").
@@ -47,13 +53,24 @@ DEFAULT_WARMUP_S = 50.0
 class Scenario:
     """A materialized experiment: simulator, medium, stations and streams."""
 
-    def __init__(self, sim: Simulator, medium: Medium, recorder: FlowRecorder) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: Medium,
+        recorder: FlowRecorder,
+        sanitize: bool = False,
+    ) -> None:
         self.sim = sim
         self.medium = medium
         self.recorder = recorder
         self.stations: Dict[str, Station] = {}
         self.streams: Dict[str, Any] = {}
         self.duration: Optional[float] = None
+        #: When True, every :meth:`run` replays the trace through the
+        #: conformance sanitizer and raises on protocol violations.
+        self.sanitize = sanitize
+        #: Report from the most recent :meth:`verify` / sanitized run.
+        self.conformance: Optional[ConformanceReport] = None
 
     def station(self, name: str) -> Station:
         return self.stations[name]
@@ -62,10 +79,30 @@ class Scenario:
         return self.streams[stream_id]
 
     def run(self, duration: float) -> "Scenario":
-        """Advance the simulation to ``duration`` seconds and remember it."""
+        """Advance the simulation to ``duration`` seconds and remember it.
+
+        In sanitized mode the recorded trace is then replayed through the
+        protocol conformance checker; any violation raises
+        :class:`~repro.verify.conformance.ConformanceError`.
+        """
         self.sim.run(until=duration)
         self.duration = duration
+        if self.sanitize:
+            report = self.verify()
+            note_report(sum(report.examined.values()), len(report.violations))
+            if not report.ok:
+                raise ConformanceError(report)
         return self
+
+    def verify(self) -> ConformanceReport:
+        """Replay the recorded trace through the conformance sanitizer.
+
+        Requires tracing to have been enabled (``trace=True`` or
+        ``sanitize=True`` on the builder); with tracing off the report is
+        trivially empty.
+        """
+        self.conformance = check_scenario(self)
+        return self.conformance
 
     # ------------------------------------------------------------- results
     def throughput(
@@ -115,6 +152,12 @@ class ScenarioBuilder:
     config:
         Default protocol configuration (a :class:`ProtocolConfig` for
         macaw/maca, a :class:`CsmaConfig` for csma).
+    sanitize:
+        Run the protocol conformance sanitizer after every
+        :meth:`Scenario.run` (implies tracing).  ``None`` (default)
+        defers to :func:`repro.verify.runtime.sanitize_enabled` — the
+        programmatic override or the ``REPRO_SANITIZE`` environment
+        variable — so whole experiment suites can opt in externally.
     """
 
     def __init__(
@@ -128,6 +171,7 @@ class ScenarioBuilder:
         grid_kwargs: Optional[Dict[str, Any]] = None,
         queue_capacity: Optional[int] = 64,
         timing: Optional[MacTiming] = None,
+        sanitize: Optional[bool] = None,
     ) -> None:
         if medium not in ("graph", "grid"):
             raise ValueError(f"medium must be 'graph' or 'grid', got {medium!r}")
@@ -137,6 +181,7 @@ class ScenarioBuilder:
         self.config = config
         self.bitrate_bps = bitrate_bps
         self.trace = trace
+        self.sanitize = sanitize
         self.grid_kwargs = grid_kwargs or {}
         self.queue_capacity = queue_capacity
         self.timing = timing
@@ -272,13 +317,14 @@ class ScenarioBuilder:
 
     def build(self) -> Scenario:
         """Materialize the scenario (idempotent: each call builds afresh)."""
-        sim = Simulator(seed=self.seed, trace=Trace(enabled=self.trace))
+        sanitize = sanitize_enabled(self.sanitize)
+        sim = Simulator(seed=self.seed, trace=Trace(enabled=self.trace or sanitize))
         if self.medium_kind == "graph":
             medium: Medium = GraphMedium(sim, bitrate_bps=self.bitrate_bps)
         else:
             medium = GridMedium(sim, bitrate_bps=self.bitrate_bps, **self.grid_kwargs)
         recorder = FlowRecorder()
-        scenario = Scenario(sim, medium, recorder)
+        scenario = Scenario(sim, medium, recorder, sanitize=sanitize)
         timing = self.timing if self.timing is not None else MacTiming(
             bitrate_bps=self.bitrate_bps
         )

@@ -1,0 +1,378 @@
+"""Simulation-determinism lint: an AST pass with simulator-specific rules.
+
+The reproduction's core guarantee is that one integer seed replays an
+entire experiment.  Python makes it easy to break that silently — one
+``random.random()`` or ``time.time()`` in model code and every table is
+seed-dependent in ways no test will catch.  This pass enforces the rules
+mechanically:
+
+``REPRO101`` unseeded-randomness
+    No ``import random`` / ``random.*`` and no direct ``numpy.random``
+    use outside :mod:`repro.sim.rng`.  All randomness must flow through
+    ``Simulator.streams`` so that every draw is owned by a named,
+    master-seeded stream.
+``REPRO102`` wall-clock
+    No ``time.time()``, ``time.monotonic()``, ``time.perf_counter()``,
+    ``datetime.now()`` etc. in ``src/repro``: simulated time comes from
+    ``Simulator.now`` only.  Reporting code may annotate a line with
+    ``# repro-lint: allow=REPRO102`` (e.g. the CLI's wall-time printout).
+``REPRO103`` mutable-default
+    No list/dict/set/bytearray literals or constructor calls as function
+    argument defaults (shared mutable state across calls).
+``REPRO104`` clock-mutation
+    No assignment to a ``._now`` attribute outside the kernel: event
+    callbacks must never move the simulation clock.
+``REPRO105`` unused-import
+    Imports that are never referenced (and not re-exported via
+    ``__all__``) — drift that hides real dependencies.
+
+Run it as a module::
+
+    python -m repro.verify.lint src/repro
+
+Exit status is 0 when clean, 1 when findings were reported, 2 on usage
+or parse errors.  A line can waive specific rules with a trailing
+``# repro-lint: allow=CODE[,CODE...]`` comment (or ``allow=all``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["Finding", "lint_source", "lint_file", "lint_paths", "main"]
+
+#: Wall-clock callables, as (module alias base, attribute) pairs.
+_WALLCLOCK_TIME_ATTRS = {
+    "time", "monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns",
+    "process_time", "process_time_ns", "time_ns", "localtime", "gmtime",
+}
+_WALLCLOCK_DATETIME_ATTRS = {"now", "utcnow", "today"}
+
+#: Mutable constructor names whose call (or literal) must not be a default.
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "deque", "defaultdict"}
+
+_ALLOW_RE = re.compile(r"#\s*repro-lint:\s*allow=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def _allowed_codes(source_lines: Sequence[str], line: int) -> Set[str]:
+    """Rules waived on ``line`` (1-indexed) by a repro-lint pragma."""
+    if not 1 <= line <= len(source_lines):
+        return set()
+    match = _ALLOW_RE.search(source_lines[line - 1])
+    if not match:
+        return set()
+    return {token.strip().upper() for token in match.group(1).split(",")}
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, path: str, is_rng_module: bool, is_kernel_module: bool) -> None:
+        self.path = path
+        self.is_rng_module = is_rng_module
+        self.is_kernel_module = is_kernel_module
+        self.findings: List[Finding] = []
+        #: Aliases bound to the stdlib ``random`` module.
+        self.random_aliases: Set[str] = set()
+        #: Aliases bound to the ``numpy`` module.
+        self.numpy_aliases: Set[str] = set()
+        #: Aliases bound to the stdlib ``time`` module.
+        self.time_aliases: Set[str] = set()
+        #: Aliases bound to ``datetime`` (module) / ``datetime.datetime``.
+        self.datetime_aliases: Set[str] = set()
+        #: Names bound directly to wall-clock callables via from-imports.
+        self.wallclock_names: Set[str] = set()
+        #: (name, node) for every import binding, for REPRO105.
+        self.import_bindings: List[Tuple[str, ast.stmt]] = []
+        #: Every identifier referenced anywhere (including annotations).
+        self.used_names: Set[str] = set()
+        #: Strings that may name identifiers (__all__, string annotations).
+        self.string_constants: List[str] = []
+
+    # ------------------------------------------------------------- helpers
+    def _report(self, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append(Finding(
+            self.path,
+            getattr(node, "lineno", 0),
+            getattr(node, "col_offset", 0),
+            code,
+            message,
+        ))
+
+    # ------------------------------------------------------------- imports
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            root = alias.name.split(".")[0]
+            if root == "random":
+                self.random_aliases.add(bound)
+                self._report(
+                    node, "REPRO101",
+                    "stdlib 'random' is banned in model code; draw from"
+                    " Simulator.streams instead",
+                )
+            elif root == "numpy":
+                self.numpy_aliases.add(bound)
+            elif root == "time":
+                self.time_aliases.add(bound)
+            elif root == "datetime":
+                self.datetime_aliases.add(bound)
+            self.import_bindings.append((bound, node))
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        root = module.split(".")[0]
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            bound = alias.asname or alias.name
+            if module == "__future__":
+                continue
+            if root == "random":
+                self._report(
+                    node, "REPRO101",
+                    "stdlib 'random' is banned in model code; draw from"
+                    " Simulator.streams instead",
+                )
+            elif root == "time" and alias.name in _WALLCLOCK_TIME_ATTRS:
+                self.wallclock_names.add(bound)
+            elif root == "datetime" and alias.name in ("datetime", "date"):
+                self.datetime_aliases.add(bound)
+            self.import_bindings.append((bound, node))
+        self.generic_visit(node)
+
+    # ----------------------------------------------------------- name uses
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self.used_names.add(node.id)
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        # REPRO101: random.<anything>, np.random.<anything>.
+        base = node.value
+        if isinstance(base, ast.Name):
+            if base.id in self.random_aliases:
+                self._report(
+                    node, "REPRO101",
+                    f"'{base.id}.{node.attr}' bypasses the seeded stream"
+                    " registry (Simulator.streams)",
+                )
+            if (
+                not self.is_rng_module
+                and base.id in self.numpy_aliases
+                and node.attr == "random"
+            ):
+                self._report(
+                    node, "REPRO101",
+                    "direct numpy.random use outside repro.sim.rng; derive a"
+                    " named stream from Simulator.streams",
+                )
+            # REPRO102: time.time(), datetime.now(), ...
+            if base.id in self.time_aliases and node.attr in _WALLCLOCK_TIME_ATTRS:
+                self._report(
+                    node, "REPRO102",
+                    f"wall-clock call '{base.id}.{node.attr}' in simulation"
+                    " code; use Simulator.now",
+                )
+            if (
+                base.id in self.datetime_aliases
+                and node.attr in _WALLCLOCK_DATETIME_ATTRS
+            ):
+                self._report(
+                    node, "REPRO102",
+                    f"wall-clock call '{base.id}.{node.attr}' in simulation"
+                    " code; use Simulator.now",
+                )
+        elif (
+            isinstance(base, ast.Attribute)
+            and isinstance(base.value, ast.Name)
+            and base.value.id in self.datetime_aliases
+            and node.attr in _WALLCLOCK_DATETIME_ATTRS
+        ):
+            # datetime.datetime.now(), datetime.date.today(), ...
+            self._report(
+                node, "REPRO102",
+                f"wall-clock call '{base.value.id}.{base.attr}.{node.attr}'"
+                " in simulation code; use Simulator.now",
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Name) and node.func.id in self.wallclock_names:
+            self._report(
+                node, "REPRO102",
+                f"wall-clock call '{node.func.id}()' in simulation code;"
+                " use Simulator.now",
+            )
+        self.generic_visit(node)
+
+    # -------------------------------------------------- mutable defaults
+    def _check_defaults(self, node: ast.AST, args: ast.arguments) -> None:
+        for default in list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]:
+            if isinstance(default, (ast.List, ast.Dict, ast.Set)):
+                kind = type(default).__name__.lower()
+                self._report(
+                    default, "REPRO103",
+                    f"mutable default argument ({kind} literal); use None"
+                    " and create inside the function",
+                )
+            elif (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_CALLS
+            ):
+                self._report(
+                    default, "REPRO103",
+                    f"mutable default argument ({default.func.id}());"
+                    " use None and create inside the function",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node, node.args)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node, node.args)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node, node.args)
+        self.generic_visit(node)
+
+    # -------------------------------------------------- clock mutation
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if not self.is_kernel_module:
+            for target in node.targets:
+                self._check_now_target(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if not self.is_kernel_module:
+            self._check_now_target(node.target)
+        self.generic_visit(node)
+
+    def _check_now_target(self, target: ast.AST) -> None:
+        if isinstance(target, ast.Attribute) and target.attr == "_now":
+            self._report(
+                target, "REPRO104",
+                "assignment to '._now' outside the kernel; event callbacks"
+                " must never move the simulation clock",
+            )
+
+    # --------------------------------------------------------- strings
+    def visit_Constant(self, node: ast.Constant) -> None:
+        if isinstance(node.value, str):
+            self.string_constants.append(node.value)
+        self.generic_visit(node)
+
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+def lint_source(source: str, path: str = "<string>") -> List[Finding]:
+    """Lint one module's source text; returns findings (possibly empty)."""
+    normalized = path.replace("\\", "/")
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(path, exc.lineno or 0, exc.offset or 0, "REPRO100",
+                        f"syntax error: {exc.msg}")]
+    visitor = _Visitor(
+        path,
+        is_rng_module=normalized.endswith("sim/rng.py"),
+        is_kernel_module=normalized.endswith("sim/kernel.py"),
+    )
+    visitor.visit(tree)
+    findings = visitor.findings
+
+    # REPRO105: unused imports.  Names referenced anywhere (including
+    # inside string annotations and __all__) count as used; __init__.py
+    # modules are exempt because their imports ARE the public API.
+    if not normalized.endswith("__init__.py"):
+        string_idents: Set[str] = set()
+        for text in visitor.string_constants:
+            if len(text) < 200:  # identifiers, not docstrings
+                string_idents.update(_IDENT_RE.findall(text))
+        used = visitor.used_names | string_idents
+        for name, node in visitor.import_bindings:
+            if name not in used:
+                findings.append(Finding(
+                    path, node.lineno, node.col_offset, "REPRO105",
+                    f"'{name}' imported but unused",
+                ))
+
+    source_lines = source.splitlines()
+    kept = []
+    for finding in findings:
+        allowed = _allowed_codes(source_lines, finding.line)
+        if finding.code in allowed or "ALL" in allowed:
+            continue
+        kept.append(finding)
+    kept.sort(key=lambda f: (f.line, f.col, f.code))
+    return kept
+
+
+def lint_file(path: Path) -> List[Finding]:
+    """Lint one file on disk."""
+    return lint_source(path.read_text(encoding="utf-8"), str(path))
+
+
+def lint_paths(paths: Iterable[Path]) -> List[Finding]:
+    """Lint files and/or directory trees (``*.py``, sorted, recursive)."""
+    findings: List[Finding] = []
+    for path in paths:
+        if path.is_dir():
+            for file in sorted(path.rglob("*.py")):
+                findings.extend(lint_file(file))
+        else:
+            findings.extend(lint_file(path))
+    return findings
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args:
+        print("usage: python -m repro.verify.lint <path> [<path> ...]",
+              file=sys.stderr)
+        return 2
+    paths = [Path(arg) for arg in args]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        for path in missing:
+            print(f"error: no such path: {path}", file=sys.stderr)
+        return 2
+    findings = lint_paths(paths)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        counts: Dict[str, int] = {}
+        for finding in findings:
+            counts[finding.code] = counts.get(finding.code, 0) + 1
+        summary = ", ".join(f"{code}: {n}" for code, n in sorted(counts.items()))
+        print(f"{len(findings)} finding(s) ({summary})")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""Process-wide switch for sanitized (conformance-checked) runs.
+
+Experiments build their scenarios deep inside driver code, so the
+sanitizer cannot always be threaded through as a parameter.  This module
+provides the global opt-in that :class:`repro.topo.builder.ScenarioBuilder`
+consults when its own ``sanitize`` argument is left unset:
+
+* :func:`force_sanitize` / the :func:`sanitized` context manager flip the
+  switch programmatically (the ``verify-trace`` CLI uses this);
+* the ``REPRO_SANITIZE`` environment variable (``1``/``true``/``yes``/
+  ``on``) flips it from the outside, e.g. for a whole pytest run.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+__all__ = [
+    "SanitizeStats",
+    "force_sanitize",
+    "note_report",
+    "sanitize_enabled",
+    "sanitized",
+]
+
+#: Programmatic override; None means "fall back to the environment".
+_forced: Optional[bool] = None
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+def force_sanitize(value: Optional[bool]) -> None:
+    """Set (True/False) or clear (None) the global sanitize override."""
+    global _forced
+    _forced = value
+
+
+def sanitize_enabled(explicit: Optional[bool] = None) -> bool:
+    """Resolve whether a run should be sanitized.
+
+    Precedence: the caller's explicit choice, then the programmatic
+    override, then the ``REPRO_SANITIZE`` environment variable.
+    """
+    if explicit is not None:
+        return explicit
+    if _forced is not None:
+        return _forced
+    return os.environ.get("REPRO_SANITIZE", "").strip().lower() in _TRUTHY
+
+
+@dataclass
+class SanitizeStats:
+    """Aggregate over the scenario runs inside one :func:`sanitized` block."""
+
+    runs: int = 0
+    records: int = 0
+    violations: int = 0
+
+
+#: Stats object of the innermost active :func:`sanitized` block, if any.
+_stats: Optional[SanitizeStats] = None
+
+
+def note_report(examined: int, violations: int) -> None:
+    """Record one scenario's conformance results (called by Scenario.run)."""
+    if _stats is not None:
+        _stats.runs += 1
+        _stats.records += examined
+        _stats.violations += violations
+
+
+@contextmanager
+def sanitized(value: bool = True) -> Iterator[SanitizeStats]:
+    """Temporarily force sanitized mode on (or off) for a code block.
+
+    Yields a :class:`SanitizeStats` that accumulates the scenario runs
+    checked inside the block (useful for "N records examined" reporting).
+    """
+    global _forced, _stats
+    previous, previous_stats = _forced, _stats
+    _forced = value
+    _stats = stats = SanitizeStats()
+    try:
+        yield stats
+    finally:
+        _forced, _stats = previous, previous_stats

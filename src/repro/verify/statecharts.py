@@ -1,0 +1,164 @@
+"""Declarative MAC statecharts (Appendix A and Appendix B).
+
+The paper specifies MACA as a five-state machine (Appendix A: IDLE,
+CONTEND, WFCTS, WFData, QUIET) and MACAW as a ten-state machine
+(Appendix B: those plus SendData, WFDS, WFACK, WFRTS, WFContend).  The
+implementation in :mod:`repro.core.macaw` realizes both from one
+configurable machine, with two documented refinements (see DESIGN.md):
+
+* ``SendData`` exists even in the MACA configuration, because the
+  simulator models transmission airtime explicitly — the appendix's
+  atomic "send data" rule spans a real interval here;
+* ``WFCONTEND`` exists even in the MACA configuration: a deferring
+  station with queued work waits for the quiet period to end before
+  contending, which Appendix A folds into QUIET.
+
+This module is the *specification* side of the conformance sanitizer: a
+:class:`Statechart` is a pure transition table derived from a
+:class:`~repro.core.config.ProtocolConfig`, against which
+:mod:`repro.verify.conformance` replays recorded traces.  Keeping the
+table declarative (rather than re-deriving legality from the
+implementation) is the point — a silent illegal transition in the state
+machine cannot also silently rewrite the table it is checked against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Set, Tuple
+
+from repro.core.config import MACA_CONFIG, MACAW_CONFIG, ProtocolConfig
+from repro.mac.base import MacState
+
+__all__ = ["Statechart", "statechart_for", "MACA_STATECHART", "MACAW_STATECHART"]
+
+# Canonical state names as they appear in traces (MacState values).
+IDLE = MacState.IDLE.value
+CONTEND = MacState.CONTEND.value
+WFRTS = MacState.WFRTS.value
+WFCTS = MacState.WFCTS.value
+WFCONTEND = MacState.WFCONTEND.value
+SENDDATA = MacState.SENDDATA.value
+WFDS = MacState.WFDS.value
+WFDATA = MacState.WFDATA.value
+WFACK = MacState.WFACK.value
+QUIET = MacState.QUIET.value
+
+
+@dataclass(frozen=True)
+class Statechart:
+    """An immutable transition table for one protocol configuration."""
+
+    name: str
+    states: FrozenSet[str]
+    initial: str
+    transitions: FrozenSet[Tuple[str, str]]
+
+    def allows(self, frm: str, to: str) -> bool:
+        """True when ``frm -> to`` is a legal transition."""
+        return (frm, to) in self.transitions
+
+    def successors(self, state: str) -> FrozenSet[str]:
+        """States reachable from ``state`` in one transition."""
+        return frozenset(to for frm, to in self.transitions if frm == state)
+
+    def unreachable_states(self) -> FrozenSet[str]:
+        """States never entered from :attr:`initial` (spec self-check)."""
+        seen: Set[str] = {self.initial}
+        frontier = [self.initial]
+        while frontier:
+            here = frontier.pop()
+            for nxt in self.successors(here):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return frozenset(self.states - seen)
+
+    def __contains__(self, state: str) -> bool:
+        return state in self.states
+
+
+def statechart_for(config: ProtocolConfig, name: str = "") -> Statechart:
+    """Derive the legal transition table for one protocol configuration.
+
+    The table follows Appendix A/B rule-by-rule, specialized by the
+    config's feature flags exactly as the paper's tables are (each table
+    toggles one flag): without ``use_ds`` the receiver grant leads
+    straight to WFData; without ``use_ack`` the sender never enters
+    WFACK; without ``use_rrts`` WFRTS does not exist.
+    """
+    transitions: Set[Tuple[str, str]] = {
+        # Contention entry and the empty-queue return (control rules 1, 3).
+        (IDLE, CONTEND),
+        (CONTEND, IDLE),
+        # Deferral (control rule 11 / Appendix A rule 4): a station that
+        # overhears a control packet goes quiet — to WFCONTEND when it has
+        # work waiting, QUIET otherwise — and returns when the period ends.
+        (IDLE, WFCONTEND),
+        (IDLE, QUIET),
+        (CONTEND, WFCONTEND),
+        (CONTEND, QUIET),
+        (QUIET, WFCONTEND),
+        (WFCONTEND, QUIET),
+        (QUIET, CONTEND),
+        (WFCONTEND, CONTEND),
+        (QUIET, IDLE),
+        (WFCONTEND, IDLE),
+        # Sender: RTS goes out at the contention boundary (rule 2).
+        (CONTEND, WFCTS),
+        # CTS answered / timed out (rules 4, timeout rule 1).
+        (WFCTS, SENDDATA),
+        (WFCTS, IDLE),
+        # DATA sent; without an ACK the exchange completes here (§2.3).
+        (SENDDATA, IDLE),
+        # Multicast: RTS is followed immediately by DATA (§3.3.4).
+        (CONTEND, SENDDATA),
+        # Receiver: grant a CTS and wait for the exchange to continue.
+        (WFDATA, IDLE),
+    }
+
+    # Receiver grant target depends on the DS flag (§3.3.2).
+    grant = WFDS if config.use_ds else WFDATA
+    grant_sources = [IDLE, CONTEND]
+    if config.use_rrts:
+        grant_sources.append(WFRTS)
+    for source in grant_sources:
+        transitions.add((source, grant))
+    if config.use_ds:
+        transitions.add((WFDS, WFDATA))   # DS arrived (control rule 6)
+        transitions.add((WFDS, IDLE))     # DS timeout (timeout rule 3)
+    if config.use_ack:
+        transitions.add((SENDDATA, WFACK))  # DATA sent, await ACK (§3.3.1)
+        transitions.add((WFACK, IDLE))      # ACK or timeout (timeout rule 4)
+    if config.use_rrts:
+        transitions.add((CONTEND, WFRTS))   # RRTS sent (control rule 10)
+        transitions.add((WFRTS, IDLE))      # answered by rule 7 ACK / timeout
+        transitions.add((WFRTS, CONTEND))   # grant failed, re-contend
+        # Rule 13: the RRTS is answered with an immediate RTS.
+        transitions.add((IDLE, WFCTS))
+
+    states = {IDLE, CONTEND, WFCTS, WFCONTEND, SENDDATA, WFDATA, QUIET}
+    if config.use_ds:
+        states.add(WFDS)
+    if config.use_ack:
+        states.add(WFACK)
+    if config.use_rrts:
+        states.add(WFRTS)
+
+    if not name:
+        name = "MACAW" if config == MACAW_CONFIG else (
+            "MACA" if config == MACA_CONFIG else "custom"
+        )
+    return Statechart(
+        name=name,
+        states=frozenset(states),
+        initial=IDLE,
+        transitions=frozenset(transitions),
+    )
+
+
+#: Appendix A's MACA machine (5 paper states + 2 documented refinements).
+MACA_STATECHART = statechart_for(MACA_CONFIG, name="MACA")
+
+#: Appendix B's MACAW machine (all 10 states).
+MACAW_STATECHART = statechart_for(MACAW_CONFIG, name="MACAW")

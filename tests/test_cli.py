@@ -35,3 +35,23 @@ def test_no_paper_flag_hides_reference(capsys):
 def test_seed_flag_respected(capsys):
     main(["table9", "--duration", "60", "--warmup", "10", "--seed", "7"])
     assert "seed 7" in capsys.readouterr().out
+
+
+def test_verify_trace_reports_clean_run(capsys):
+    assert main(["verify-trace", "table9", "--duration", "60", "--warmup", "10"]) == 0
+    out = capsys.readouterr().out
+    assert "table9" in out and "OK" in out
+    assert "trace records" in out
+
+
+def test_verify_trace_unknown_experiment_returns_2(capsys):
+    assert main(["verify-trace", "table99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_verify_trace_leaves_sanitize_mode_off(capsys):
+    from repro.verify.runtime import sanitize_enabled
+
+    main(["verify-trace", "table9", "--duration", "60", "--warmup", "10"])
+    capsys.readouterr()
+    assert not sanitize_enabled()

@@ -1,0 +1,149 @@
+"""The determinism lint pass: each rule, the pragma, and the clean tree."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.verify.lint import lint_paths, lint_source, main
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def codes(source, path="model.py"):
+    return [f.code for f in lint_source(source, path)]
+
+
+# ------------------------------------------------------------------ REPRO101
+
+
+def test_random_import_flagged():
+    assert "REPRO101" in codes("import random\nrandom.seed(1)\n")
+
+
+def test_random_from_import_flagged():
+    assert "REPRO101" in codes("from random import choice\n")
+
+
+def test_random_attribute_use_flagged():
+    found = codes("import random\nx = random.random()\n")
+    assert found.count("REPRO101") == 2  # the import and the call site
+
+
+def test_numpy_random_outside_rng_module_flagged():
+    src = "import numpy as np\nrng = np.random.default_rng(0)\n"
+    assert "REPRO101" in codes(src)
+    # The stream registry itself is the one legitimate call site.
+    assert "REPRO101" not in codes(src, path="src/repro/sim/rng.py")
+
+
+# ------------------------------------------------------------------ REPRO102
+
+
+def test_wall_clock_calls_flagged():
+    assert "REPRO102" in codes("import time\nt = time.time()\n")
+    assert "REPRO102" in codes("import time\nt = time.perf_counter()\n")
+    assert "REPRO102" in codes(
+        "import datetime\nt = datetime.datetime.now()\n"
+    )
+    assert "REPRO102" in codes(
+        "from datetime import datetime\nt = datetime.now()\n"
+    )
+    assert "REPRO102" in codes(
+        "from time import perf_counter\nt = perf_counter()\n"
+    )
+
+
+def test_non_clock_time_use_not_flagged():
+    assert codes("import time\nt = time.sleep\n") == []
+
+
+def test_pragma_waives_named_rule():
+    src = "import time\nt = time.time()  # repro-lint: allow=REPRO102\n"
+    assert codes(src) == []
+    wrong = "import time\nt = time.time()  # repro-lint: allow=REPRO101\n"
+    assert "REPRO102" in codes(wrong)
+
+
+# ------------------------------------------------------------------ REPRO103
+
+
+def test_mutable_default_literal_flagged():
+    assert "REPRO103" in codes("def f(x=[]):\n    pass\n")
+    assert "REPRO103" in codes("def f(x={}):\n    pass\n")
+    assert "REPRO103" in codes("def f(*, x=set()):\n    pass\n")
+    assert "REPRO103" in codes("f = lambda x=[]: x\n")
+
+
+def test_immutable_defaults_not_flagged():
+    assert codes("def f(x=(), y=None, z=0):\n    pass\n") == []
+    # Frozen-config constructor defaults are fine: only the known mutable
+    # builtins are banned.
+    assert codes("def f(x=Config()):\n    pass\n") == []
+
+
+# ------------------------------------------------------------------ REPRO104
+
+
+def test_clock_mutation_flagged_outside_kernel():
+    assert "REPRO104" in codes("sim._now = 5.0\n")
+    assert "REPRO104" in codes("self.sim._now += 1.0\n")
+    assert codes("self._now = 0.0\n", path="src/repro/sim/kernel.py") == []
+
+
+# ------------------------------------------------------------------ REPRO105
+
+
+def test_unused_import_flagged():
+    assert "REPRO105" in codes("import os\n")
+    assert "REPRO105" in codes("from typing import List\n")
+
+
+def test_used_and_reexported_imports_not_flagged():
+    assert codes("import os\nprint(os.sep)\n") == []
+    assert codes('from repro.mac.maca import MacaMac\n__all__ = ["MacaMac"]\n') == []
+    assert codes('from typing import List\nx: "List[int]" = []\n') == []
+
+
+def test_init_modules_exempt_from_unused_import():
+    assert codes("from os import sep\n", path="pkg/__init__.py") == []
+
+
+# ---------------------------------------------------------------- whole tree
+
+
+def test_repro_tree_is_lint_clean():
+    findings = lint_paths([SRC])
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_syntax_error_reported_not_raised(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(:\n")
+    findings = lint_paths([bad])
+    assert [f.code for f in findings] == ["REPRO100"]
+
+
+# -------------------------------------------------------------------- driver
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import time\nt = time.time()\n")
+    assert main([str(clean)]) == 0
+    assert main([str(dirty)]) == 1
+    out = capsys.readouterr().out
+    assert "REPRO102" in out and "1 finding(s)" in out
+    assert main([]) == 2
+    assert main([str(tmp_path / "absent.py")]) == 2
+
+
+def test_module_entrypoint_runs():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.verify.lint", str(SRC)],
+        capture_output=True, text=True,
+        cwd=str(SRC.parents[1].parent),
+        env={"PYTHONPATH": str(SRC.parent), "PATH": "/usr/bin:/bin"},
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

@@ -1,0 +1,83 @@
+"""Statecharts: the declarative Appendix A/B transition tables."""
+
+from repro.core.config import maca_config, macaw_config
+from repro.verify.statecharts import (
+    MACA_STATECHART,
+    MACAW_STATECHART,
+    statechart_for,
+)
+
+
+def test_macaw_has_all_ten_states():
+    assert MACAW_STATECHART.states == {
+        "IDLE", "CONTEND", "WFRTS", "WFCTS", "WFCONTEND",
+        "SendData", "WFDS", "WFData", "WFACK", "QUIET",
+    }
+
+
+def test_maca_omits_macaw_only_states():
+    # Appendix A's 5 states plus the two documented refinements
+    # (SendData for explicit airtime, WFCONTEND for queued deferral).
+    assert MACA_STATECHART.states == {
+        "IDLE", "CONTEND", "WFCTS", "WFCONTEND", "SendData", "WFData", "QUIET",
+    }
+    for missing in ("WFDS", "WFACK", "WFRTS"):
+        assert missing not in MACA_STATECHART
+
+
+def test_every_state_reachable_from_idle():
+    assert MACAW_STATECHART.unreachable_states() == frozenset()
+    assert MACA_STATECHART.unreachable_states() == frozenset()
+
+
+def test_core_exchange_transitions_legal():
+    chart = MACAW_STATECHART
+    assert chart.allows("IDLE", "CONTEND")
+    assert chart.allows("CONTEND", "WFCTS")
+    assert chart.allows("WFCTS", "SendData")
+    assert chart.allows("SendData", "WFACK")
+    assert chart.allows("WFACK", "IDLE")
+    assert chart.allows("IDLE", "WFDS")        # receiver grants a CTS
+    assert chart.allows("WFDS", "WFData")      # DS arrived
+    assert chart.allows("WFData", "IDLE")
+
+
+def test_nonsense_transitions_rejected():
+    chart = MACAW_STATECHART
+    assert not chart.allows("IDLE", "WFACK")   # can't await an ACK from idle
+    assert not chart.allows("QUIET", "WFCTS")  # no RTS while deferring
+    assert not chart.allows("WFACK", "WFCTS")  # new RTS needs contention
+    assert not chart.allows("IDLE", "IDLE")    # self-loops are not recorded
+
+
+def test_grant_target_depends_on_ds_flag():
+    with_ds = statechart_for(macaw_config(use_ds=True))
+    without_ds = statechart_for(macaw_config(use_ds=False))
+    assert with_ds.allows("IDLE", "WFDS")
+    assert not with_ds.allows("IDLE", "WFData")
+    assert without_ds.allows("IDLE", "WFData")
+    assert "WFDS" not in without_ds
+
+
+def test_ack_and_rrts_flags_gate_their_states():
+    no_ack = statechart_for(macaw_config(use_ack=False))
+    assert "WFACK" not in no_ack
+    assert no_ack.allows("SendData", "IDLE")
+    no_rrts = statechart_for(macaw_config(use_rrts=False))
+    assert "WFRTS" not in no_rrts
+    assert not no_rrts.allows("IDLE", "WFCTS")  # rule 13 only with RRTS
+
+
+def test_rule_13_immediate_rts_after_rrts():
+    assert MACAW_STATECHART.allows("IDLE", "WFCTS")
+
+
+def test_maca_statechart_matches_maca_config():
+    assert statechart_for(maca_config()).transitions == MACA_STATECHART.transitions
+
+
+def test_successors_and_names():
+    assert "CONTEND" in MACAW_STATECHART.successors("IDLE")
+    assert MACAW_STATECHART.name == "MACAW"
+    assert MACA_STATECHART.name == "MACA"
+    assert statechart_for(macaw_config(use_ds=False)).name == "custom"

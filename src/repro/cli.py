@@ -6,8 +6,18 @@ Usage::
     macaw-sim table5
     macaw-sim table5 --seed 3 --duration 200
     macaw-sim all --duration 200
+    macaw-sim all --seeds 0,1,2,3 --jobs 4
+    macaw-sim table9 --seeds 8 --jobs 4 --cache --digest
     macaw-sim verify-trace table5
     macaw-sim verify-trace all
+
+``--seeds`` accepts either a count (``--seeds 4`` runs seed..seed+3) or an
+explicit comma-separated list (``--seeds 0,1,2,3``).  ``--jobs N`` fans the
+experiment × seed grid out over N worker processes via
+:mod:`repro.runner`; results are byte-identical to a serial run.
+``--cache`` memoizes finished cells on disk (keyed by experiment, seed,
+bounds, runtime config and a source-tree content hash), and ``--digest``
+prints each cell's combined trace digest — the determinism fingerprint.
 
 ``verify-trace`` runs experiments with the protocol conformance sanitizer
 enabled: every station's trace is replayed through the statechart and
@@ -20,17 +30,33 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import List, Optional
+from typing import Dict, List, Optional
 
+from repro.experiments.base import SeedSweepResult
 from repro.experiments.registry import all_experiments, experiment_ids, get_experiment
+
+
+def _parse_seeds(spec: str, base: int) -> List[int]:
+    """Seed list from a ``--seeds`` value: a count, or a comma-joined list.
+
+    Raises ValueError on a malformed value; ``main`` reports it and
+    exits 2 like every other usage error.
+    """
+    if "," in spec:
+        return [int(item) for item in spec.split(",") if item.strip()]
+    count = int(spec)
+    if count < 1:
+        raise ValueError(f"--seeds count must be >= 1, got {count}")
+    return list(range(base, base + count))
 
 
 def _add_run_options(parser: argparse.ArgumentParser, seeds: bool = True) -> None:
     parser.add_argument("--seed", type=int, default=0, help="master random seed")
     if seeds:
         parser.add_argument(
-            "--seeds", type=int, default=1,
-            help="run N seeds (seed..seed+N-1) and report means + pass rates",
+            "--seeds", default="1", metavar="N|A,B,...",
+            help="run N seeds (seed..seed+N-1) or an explicit comma-separated "
+            "seed list; multiple seeds report means + pass rates",
         )
     parser.add_argument(
         "--duration", type=float, default=None,
@@ -46,6 +72,25 @@ def _add_run_options(parser: argparse.ArgumentParser, seeds: bool = True) -> Non
     )
 
 
+def _add_runner_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the experiment × seed grid (default 1)",
+    )
+    parser.add_argument(
+        "--digest", action="store_true",
+        help="print each run's combined trace digest (forces tracing on)",
+    )
+    parser.add_argument(
+        "--cache", action="store_true",
+        help="memoize finished runs on disk (.macaw_cache or $MACAW_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache directory (implies --cache)",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="macaw-sim",
@@ -56,6 +101,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="experiment id (see 'list'), or 'all', 'list', or 'verify-trace'",
     )
     _add_run_options(parser)
+    _add_runner_options(parser)
     return parser
 
 
@@ -124,29 +170,72 @@ def main(argv: Optional[List[str]] = None) -> int:
     if experiments is None:
         return 2
 
+    try:
+        seeds = _parse_seeds(args.seeds, args.seed)
+    except ValueError as exc:
+        message = str(exc)
+        if "--seeds" not in message:
+            message = f"invalid --seeds value {args.seeds!r}"
+        print(f"macaw-sim: {message}", file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print("macaw-sim: --jobs must be >= 1", file=sys.stderr)
+        return 2
+
+    from repro.runner import ResultCache, expand_cells, run_cells
+
+    cache = (
+        ResultCache(args.cache_dir)
+        if (args.cache or args.cache_dir is not None)
+        else None
+    )
+
+    started = time.perf_counter()  # repro-lint: allow=REPRO102 (wall-time report)
+    cells = expand_cells(
+        [exp.spec.exp_id for exp in experiments], seeds,
+        duration=args.duration, warmup=args.warmup,
+    )
+    outcomes = run_cells(cells, jobs=args.jobs, cache=cache,
+                         collect_digests=args.digest)
+    elapsed = time.perf_counter() - started  # repro-lint: allow=REPRO102
+
+    grouped: Dict[str, list] = {}
+    for outcome in outcomes:
+        grouped.setdefault(outcome.cell.exp_id, []).append(outcome)
+
     all_passed = True
     for exp in experiments:
-        started = time.perf_counter()  # repro-lint: allow=REPRO102 (wall-time report)
-        if args.seeds > 1:
-            seeds = range(args.seed, args.seed + args.seeds)
-            sweep = exp.run_seeds(seeds, duration=args.duration, warmup=args.warmup)
-            elapsed = time.perf_counter() - started  # repro-lint: allow=REPRO102
+        rows = grouped.get(exp.spec.exp_id, [])
+        if not rows:  # pragma: no cover - run_cells returns every cell
+            continue
+        if len(rows) > 1:
+            sweep = SeedSweepResult(spec=exp.spec, results=[r.result for r in rows])
             print(sweep.mean_table().render(show_paper=not args.no_paper))
             rates = sweep.check_pass_rates()
             for name, rate in rates.items():
                 print(f"  [{rate:4.0%}] {name}")
-            print(f"  ({args.seeds} seeds in {elapsed:.1f}s wall)")
-            print()
             all_passed = all_passed and all(r == 1.0 for r in rates.values())
-            continue
-        result = exp.run(seed=args.seed, duration=args.duration, warmup=args.warmup)
-        elapsed = time.perf_counter() - started  # repro-lint: allow=REPRO102
-        print(result.table.render(show_paper=not args.no_paper))
-        for name, ok in result.checks.items():
-            print(f"  [{'PASS' if ok else 'FAIL'}] {name}")
-        print(f"  ({result.duration:g}s simulated in {elapsed:.1f}s wall, seed {result.seed})")
+        else:
+            result = rows[0].result
+            print(result.table.render(show_paper=not args.no_paper))
+            for name, ok in result.checks.items():
+                print(f"  [{'PASS' if ok else 'FAIL'}] {name}")
+            all_passed = all_passed and result.passed
+        if args.digest:
+            for row in rows:
+                print(f"  digest seed {row.cell.seed}: {row.digest}")
+        detail = f"{len(rows)} run{'s' if len(rows) != 1 else ''}"
+        cached = sum(1 for row in rows if row.cached)
+        if cached:
+            detail += f", {cached} cached"
+        first = rows[0].result
+        print(f"  ({first.duration:g}s simulated, seed {rows[0].cell.seed}; {detail})")
         print()
-        all_passed = all_passed and result.passed
+
+    summary = f"{len(outcomes)} cells in {elapsed:.1f}s wall (jobs={args.jobs}"
+    if cache is not None:
+        summary += f", cache: {cache.hits} hits / {cache.misses} misses"
+    print(summary + ")")
     return 0 if all_passed else 1
 
 

@@ -759,9 +759,11 @@ class MacawMac(BaseMac):
     # ============================================================ helpers
     def _set_state(self, state: MacState) -> None:
         if state is not self.state:
-            self.sim.trace.record(
-                self.sim.now, "state", self.name, frm=self.state.value, to=state.value
-            )
+            trace = self.sim.trace
+            if trace.enabled:
+                trace.record(
+                    self.sim.now, "state", self.name, frm=self.state.value, to=state.value
+                )
             self.state = state
         if state is not MacState.CONTEND:
             self._contend_timer.stop()

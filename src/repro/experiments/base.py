@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import hashlib
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.tables import ComparisonTable
+from repro.verify.runtime import capturing_digests
 
 
 @dataclass(frozen=True)
@@ -30,6 +32,11 @@ class ExperimentResult:
     seed: int = 0
     duration: float = 0.0
     warmup: float = 0.0
+    #: Combined SHA-256 over the trace digests of every scenario the
+    #: experiment ran, when the run collected digests (None otherwise).
+    #: Byte-identical digests are the serial-vs-parallel equivalence
+    #: contract the runner's tests enforce.
+    digest: Optional[str] = None
 
     @property
     def passed(self) -> bool:
@@ -64,17 +71,35 @@ class Experiment(ABC):
         seed: int = 0,
         duration: Optional[float] = None,
         warmup: Optional[float] = None,
+        collect_digest: bool = False,
     ) -> ExperimentResult:
-        """Run all variants and evaluate the qualitative checks."""
+        """Run all variants and evaluate the qualitative checks.
+
+        With ``collect_digest`` the run force-enables tracing, captures the
+        trace digest of every scenario the driver builds, and stores one
+        combined SHA-256 on the result — the determinism fingerprint that
+        must not depend on whether the run happened serially, in a worker
+        process, or on a different machine.
+        """
         duration = duration if duration is not None else self.default_duration
         warmup = warmup if warmup is not None else self.default_warmup
         if warmup >= duration:
             raise ValueError(f"warmup {warmup} must precede duration {duration}")
-        table = self._run(seed=seed, duration=duration, warmup=warmup)
+        digest: Optional[str] = None
+        if collect_digest:
+            with capturing_digests() as digests:
+                table = self._run(seed=seed, duration=duration, warmup=warmup)
+            hasher = hashlib.sha256()
+            for item in digests:
+                hasher.update(item.encode("ascii"))
+                hasher.update(b"\n")
+            digest = hasher.hexdigest()
+        else:
+            table = self._run(seed=seed, duration=duration, warmup=warmup)
         checks = self._check(table)
         return ExperimentResult(
             spec=self.spec, table=table, checks=checks,
-            seed=seed, duration=duration, warmup=warmup,
+            seed=seed, duration=duration, warmup=warmup, digest=digest,
         )
 
     @abstractmethod
@@ -90,17 +115,49 @@ class Experiment(ABC):
         seeds: Sequence[int],
         duration: Optional[float] = None,
         warmup: Optional[float] = None,
+        jobs: int = 1,
+        collect_digest: bool = False,
     ) -> "SeedSweepResult":
         """Run the experiment once per seed and aggregate.
 
         Single runs inherit the paper's methodology (the paper reports one
         run per table); a sweep shows which outcomes are stable and which —
         like who wins a capture battle — are seed lotteries.
+
+        ``jobs > 1`` fans the seeds out over worker processes via
+        :func:`repro.runner.run_cells`; per-seed results (tables, checks
+        and — with ``collect_digest`` — trace digests) are byte-identical
+        to a serial sweep.  Parallel dispatch requires the experiment to be
+        registered under its ``spec.exp_id`` (workers re-instantiate it
+        from the registry); unregistered subclasses fall back to serial.
         """
         if not seeds:
             raise ValueError("need at least one seed")
-        results = [self.run(seed=s, duration=duration, warmup=warmup) for s in seeds]
+        if jobs > 1 and self._registered():
+            from repro.runner import Cell, run_cells
+
+            cells = [
+                Cell(exp_id=self.spec.exp_id, seed=s, duration=duration, warmup=warmup)
+                for s in seeds
+            ]
+            outcomes = run_cells(cells, jobs=jobs, collect_digests=collect_digest)
+            results = [outcome.result for outcome in outcomes]
+        else:
+            results = [
+                self.run(seed=s, duration=duration, warmup=warmup,
+                         collect_digest=collect_digest)
+                for s in seeds
+            ]
         return SeedSweepResult(spec=self.spec, results=results)
+
+    def _registered(self) -> bool:
+        """True when workers can recreate this experiment from the registry."""
+        from repro.experiments.registry import get_experiment
+
+        try:
+            return type(get_experiment(self.spec.exp_id)) is type(self)
+        except KeyError:
+            return False
 
 
 @dataclass

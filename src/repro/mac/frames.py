@@ -41,6 +41,11 @@ class FrameType(Enum):
     RRTS = "RRTS"
     NACK = "NACK"
 
+    # Members are singletons, so identity hashing is equivalent to the
+    # Enum default but C-speed — frame kinds key the per-station stats
+    # dicts touched on every send/receive.
+    __hash__ = object.__hash__
+
     @property
     def is_control(self) -> bool:
         return self is not FrameType.DATA

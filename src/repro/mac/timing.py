@@ -13,6 +13,7 @@ would have finished" and keeps boundary events unambiguous.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from repro.mac.frames import CONTROL_BYTES
@@ -40,6 +41,12 @@ class MacTiming:
     turnaround_s: float = 0.0
     margin_slots: float = 1.0
 
+    #: One contention slot = control-frame airtime (§3).  Precomputed in
+    #: ``__post_init__`` — slot and margin are read on every overheard
+    #: frame, so they must not pay the validated-division cost each time.
+    slot: float = dataclasses.field(init=False, repr=False, compare=False, default=0.0)
+    margin: float = dataclasses.field(init=False, repr=False, compare=False, default=0.0)
+
     def __post_init__(self) -> None:
         if self.bitrate_bps <= 0:
             raise ValueError(f"bitrate must be positive, got {self.bitrate_bps!r}")
@@ -47,6 +54,8 @@ class MacTiming:
             raise ValueError(f"control size must be positive, got {self.control_bytes!r}")
         if self.turnaround_s < 0:
             raise ValueError(f"turnaround must be >= 0, got {self.turnaround_s!r}")
+        object.__setattr__(self, "slot", self.airtime(self.control_bytes))
+        object.__setattr__(self, "margin", self.margin_slots * self.slot)
 
     # ------------------------------------------------------------ primitives
     def airtime(self, size_bytes: int) -> float:
@@ -54,15 +63,6 @@ class MacTiming:
         if size_bytes <= 0:
             raise ValueError(f"size must be positive, got {size_bytes!r}")
         return (size_bytes * 8) / self.bitrate_bps
-
-    @property
-    def slot(self) -> float:
-        """One contention slot = control-frame airtime (§3)."""
-        return self.airtime(self.control_bytes)
-
-    @property
-    def margin(self) -> float:
-        return self.margin_slots * self.slot
 
     # -------------------------------------------------------------- timeouts
     def cts_timeout(self) -> float:

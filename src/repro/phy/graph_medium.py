@@ -8,11 +8,15 @@ Links are symmetric by default (the paper's no-noise radios are symmetric);
 asymmetric links can be forced for noise/what-if studies.  Collisions: any
 two overlapping audible signals destroy each other at that receiver — there
 is no capture in this model.
+
+The hot-path hooks count audible concurrent transmitters per receiver once
+per transmission (memoized across the new-reception check and every
+reception re-check) instead of rebuilding filtered transmission lists.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Set
+from typing import Any, Dict, Iterable, List, Set
 
 from repro.phy.medium import Medium, MediumError, ReceiverPort, Transmission
 from repro.sim.kernel import Simulator
@@ -52,6 +56,7 @@ class GraphMedium(Medium):
             self._edges[a].discard(b)
             if symmetric:
                 self._edges[b].discard(a)
+        self.invalidate_links()
 
     def connect_clique(self, ports: Iterable[ReceiverPort]) -> None:
         """Make every pair in ``ports`` mutually audible (a single cell)."""
@@ -77,7 +82,54 @@ class GraphMedium(Medium):
     ) -> bool:
         # Exactly-one-audible-transmitter rule: any concurrent audible signal
         # destroys the reception, with no capture.
+        audible = self.audible
         for other in others:
-            if self._audible(other.sender, receiver):
+            if audible(other.sender, receiver):
                 return False
         return True
+
+    # ------------------------------------------------- incremental hot path
+    def _audible_count(
+        self,
+        port: ReceiverPort,
+        concurrent: List[Transmission],
+        memo: Dict[ReceiverPort, Any],
+    ) -> int:
+        """Audible concurrent transmitters at ``port``, once per transmit."""
+        count = memo.get(port)
+        if count is None:
+            edges = self._edges
+            count = 0
+            for t in concurrent:
+                if port in edges.get(t.sender, ()):
+                    count += 1
+            memo[port] = count
+        return count
+
+    def _new_tx_clean(
+        self,
+        tx: Transmission,
+        port: ReceiverPort,
+        concurrent: List[Transmission],
+        memo: Dict[ReceiverPort, Any],
+    ) -> bool:
+        return self._audible_count(port, concurrent, memo) == 0
+
+    def _reception_survives(
+        self,
+        other: Transmission,
+        port: ReceiverPort,
+        tx: Transmission,
+        concurrent: List[Transmission],
+        memo: Dict[ReceiverPort, Any],
+    ) -> bool:
+        # ``other`` survives iff no *competing* signal is audible at
+        # ``port``: the new transmission must be out of range, and of the
+        # audible concurrent transmitters only ``other`` itself (normally
+        # audible — it is being copied — but links can be rewired mid-run)
+        # may remain.
+        audible = self.audible
+        if audible(tx.sender, port):
+            return False
+        own = 1 if audible(other.sender, port) else 0
+        return self._audible_count(port, concurrent, memo) == own

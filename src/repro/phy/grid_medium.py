@@ -12,11 +12,19 @@ during the entire packet transmission time."
 We evaluate the field lazily, only at cubes occupied by stations — which is
 mathematically identical to maintaining the full grid, since reception is
 only ever tested at station cubes.
+
+Pairwise receive powers are memoized in a link cache (:meth:`link_power`):
+they depend only on the two stations' cube positions, so they are computed
+once per pair and invalidated with the audibility cache on attach/detach
+or station movement.  Interference sums are accumulated over the
+concurrent-transmission list in its deterministic start order, so a seed
+reproduces byte-identical results across processes.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+import math
+from typing import Any, Dict, List, Tuple
 
 from repro.phy.medium import Medium, ReceiverPort, Transmission
 from repro.phy.pathloss import NearFieldPathLoss, PathLoss, distance_ft
@@ -33,12 +41,12 @@ def snap_to_cube_center(position: Tuple[float, float, float],
 
     The cube with corner (0,0,0) has center (0.5, 0.5, 0.5)·cube_ft.
     """
-
-    def snap(v: float) -> float:
-        import math
-        return (math.floor(v / cube_ft) + 0.5) * cube_ft
-
-    return (snap(position[0]), snap(position[1]), snap(position[2]))
+    floor = math.floor
+    return (
+        (floor(position[0] / cube_ft) + 0.5) * cube_ft,
+        (floor(position[1] / cube_ft) + 0.5) * cube_ft,
+        (floor(position[2] / cube_ft) + 0.5) * cube_ft,
+    )
 
 
 class GridMedium(Medium):
@@ -78,17 +86,35 @@ class GridMedium(Medium):
         self.rx_threshold_distance_ft = rx_threshold_distance_ft
         self.capture_ratio = db_to_ratio(capture_db)
         self.cube_ft = cube_ft
+        #: Pairwise receive-power memo, keyed like the audibility cache.
+        self._power_cache: Dict[Tuple[int, int], float] = {}
 
     # --------------------------------------------------------------- signal
     def power_between(self, sender: ReceiverPort, receiver: ReceiverPort) -> float:
-        """Received power (mW) of ``sender``'s signal at ``receiver``'s cube."""
+        """Received power (mW) of ``sender``'s signal at ``receiver``'s cube.
+
+        Uncached; prefer :meth:`link_power` on hot paths.
+        """
         a = snap_to_cube_center(tuple(sender.position), self.cube_ft)
         b = snap_to_cube_center(tuple(receiver.position), self.cube_ft)
         return self.pathloss.received_power_mw(self.tx_power_mw, distance_ft(a, b))
 
+    def link_power(self, sender: ReceiverPort, receiver: ReceiverPort) -> float:
+        """Cached :meth:`power_between`, invalidated with the link cache."""
+        key = (id(sender), id(receiver))
+        cache = self._power_cache
+        hit = cache.get(key)
+        if hit is None:
+            hit = cache[key] = self.power_between(sender, receiver)
+        return hit
+
+    def invalidate_links(self) -> None:
+        super().invalidate_links()
+        self._power_cache.clear()
+
     def in_range(self, sender: ReceiverPort, receiver: ReceiverPort) -> bool:
         """True when ``receiver`` is above the reception threshold."""
-        return self.power_between(sender, receiver) >= self.rx_threshold_mw
+        return self.link_power(sender, receiver) >= self.rx_threshold_mw
 
     # ------------------------------------------------------------- semantics
     def _audible(self, sender: ReceiverPort, receiver: ReceiverPort) -> bool:
@@ -97,14 +123,71 @@ class GridMedium(Medium):
     def _interference_ok(
         self, tx: Transmission, receiver: ReceiverPort, others: List[Transmission]
     ) -> bool:
-        signal = self.power_between(tx.sender, receiver)
+        signal = self.link_power(tx.sender, receiver)
         if signal < self.rx_threshold_mw:
             return False
         # Interference sums every concurrent signal, including sub-threshold
         # ones — the paper's "sum of the other signals".
         interference = 0.0
         for other in others:
-            interference += self.power_between(other.sender, receiver)
+            interference += self.link_power(other.sender, receiver)
+        if interference <= 0.0:
+            return True
+        return signal >= interference * self.capture_ratio
+
+    # ------------------------------------------------- incremental hot path
+    def _interference_sum(
+        self,
+        port: ReceiverPort,
+        concurrent: List[Transmission],
+        memo: Dict[ReceiverPort, Any],
+    ) -> float:
+        """Total concurrent power at ``port``, computed once per transmit."""
+        total = memo.get(port)
+        if total is None:
+            link_power = self.link_power
+            total = 0.0
+            for t in concurrent:
+                total += link_power(t.sender, port)
+            memo[port] = total
+        return total
+
+    def _new_tx_clean(
+        self,
+        tx: Transmission,
+        port: ReceiverPort,
+        concurrent: List[Transmission],
+        memo: Dict[ReceiverPort, Any],
+    ) -> bool:
+        # ``port`` is not transmitting, so every concurrent transmission is
+        # a competitor ("the sum of the other signals").
+        signal = self.link_power(tx.sender, port)
+        if signal < self.rx_threshold_mw:
+            return False
+        interference = self._interference_sum(port, concurrent, memo)
+        if interference <= 0.0:
+            return True
+        return signal >= interference * self.capture_ratio
+
+    def _reception_survives(
+        self,
+        other: Transmission,
+        port: ReceiverPort,
+        tx: Transmission,
+        concurrent: List[Transmission],
+        memo: Dict[ReceiverPort, Any],
+    ) -> bool:
+        link_power = self.link_power
+        signal = link_power(other.sender, port)
+        if signal < self.rx_threshold_mw:
+            return False
+        # Competitors = (concurrent minus other) plus the new tx; reuse the
+        # per-port total instead of rebuilding the list.
+        interference = (
+            self._interference_sum(port, concurrent, memo)
+            - signal
+            + link_power(tx.sender, port)
+        )
         if interference <= 0.0:
             return True
         return signal >= interference * self.capture_ratio

@@ -24,12 +24,33 @@ Corruption is evaluated incrementally: whenever a transmission starts, every
 in-flight reception it can disturb is re-checked; interference can only mark
 receptions corrupted, never un-corrupt them, so transmission *ends* need no
 re-check.
+
+Performance notes
+-----------------
+Audibility between a fixed pair of stations never changes while the
+topology holds still, so the base class memoizes :meth:`_audible` behind
+the public :meth:`audible` accessor (and :class:`GridMedium` likewise
+memoizes pairwise receive power).  The cache is invalidated on
+:meth:`attach`, :meth:`detach` and — via :meth:`invalidate_links` — on
+station movement; :class:`~repro.topo.station.Station`'s position setter
+calls it automatically.  MAC-layer code must go through :meth:`audible`
+(the determinism lint's REPRO106 enforces this) so the cache stays the
+single source of truth.
+
+:meth:`transmit` evaluates interference through two hooks —
+:meth:`_new_tx_clean` and :meth:`_reception_survives` — that concrete media
+implement with per-port aggregates over the concurrent-transmission list,
+computed at most once per port per transmission, instead of rebuilding a
+filtered transmission list for every (port, reception) pair.  Both hooks
+rely on the invariant that the evaluated port is not itself transmitting
+(a transmitting port's receptions are corrupted up front by half-duplex),
+so no concurrent transmission originates at that port.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Set, TYPE_CHECKING
+from typing import Any, Dict, List, Tuple, TYPE_CHECKING
 
 from repro.sim.kernel import Simulator
 
@@ -95,10 +116,21 @@ class Medium:
         self.sim = sim
         self.bitrate_bps = bitrate_bps
         self._ports: List[ReceiverPort] = []
-        self._active: Set[Transmission] = set()
+        #: O(1) membership/index for :attr:`_ports` (which keeps the
+        #: deterministic attach-order iteration the digests depend on).
+        self._port_index: Dict[ReceiverPort, int] = {}
+        #: In-flight transmissions in start order.  A dict (not a set) so
+        #: iteration order — and therefore floating-point interference
+        #: summation order — is deterministic across runs and processes.
+        self._active: Dict[Transmission, None] = {}
         self._transmitting: Dict[ReceiverPort, Transmission] = {}
         self._carrier_count: Dict[ReceiverPort, int] = {}
         self._noise_models: List["PacketErrorModel"] = []
+        #: Pairwise audibility memo, keyed by (id(sender), id(receiver)).
+        #: Cleared wholesale on any topology change; ids are safe as keys
+        #: because every cached port is kept alive by the ports list or an
+        #: in-flight transmission, and both attach and detach invalidate.
+        self._audible_cache: Dict[Tuple[int, int], bool] = {}
         #: Statistics: frames delivered cleanly / corrupted, per medium.
         self.clean_deliveries = 0
         self.corrupt_deliveries = 0
@@ -106,10 +138,12 @@ class Medium:
     # ------------------------------------------------------------- topology
     def attach(self, port: ReceiverPort) -> None:
         """Register a radio with the medium."""
-        if port in self._ports:
+        if port in self._port_index:
             raise MediumError(f"port {port.name!r} attached twice")
+        self._port_index[port] = len(self._ports)
         self._ports.append(port)
         self._carrier_count[port] = 0
+        self.invalidate_links()
 
     def detach(self, port: ReceiverPort) -> None:
         """Remove a radio (power-off, leaving the floor).
@@ -118,10 +152,14 @@ class Medium:
         in-flight transmission from the port keeps occupying the air until
         its scheduled end (a real radio's last frame does too).
         """
-        self._ports.remove(port)
+        index = self._port_index.pop(port)
+        self._ports.pop(index)
+        for later in self._ports[index:]:
+            self._port_index[later] -= 1
         self._carrier_count.pop(port, None)
         for tx in self._active:
             tx.receptions.pop(port, None)
+        self.invalidate_links()
 
     @property
     def ports(self) -> List[ReceiverPort]:
@@ -130,6 +168,29 @@ class Medium:
     def add_noise_model(self, model: "PacketErrorModel") -> None:
         """Attach a packet-error model applied to every delivery."""
         self._noise_models.append(model)
+
+    # ------------------------------------------------------------ link cache
+    def audible(self, sender: ReceiverPort, receiver: ReceiverPort) -> bool:
+        """Cached :meth:`_audible`: can ``receiver`` hear ``sender`` at all?
+
+        This is the supported accessor for MAC-layer and experiment code;
+        calling ``_audible`` directly bypasses the link cache (and trips
+        lint rule REPRO106).
+        """
+        key = (id(sender), id(receiver))
+        cache = self._audible_cache
+        hit = cache.get(key)
+        if hit is None:
+            hit = cache[key] = self._audible(sender, receiver)
+        return hit
+
+    def invalidate_links(self) -> None:
+        """Drop every cached link property (audibility, receive power).
+
+        Must be called whenever a station moves; attach/detach call it
+        automatically.  Subclasses with extra caches extend this.
+        """
+        self._audible_cache.clear()
 
     # ------------------------------------------------------------ subclasses
     def _audible(self, sender: ReceiverPort, receiver: ReceiverPort) -> bool:
@@ -143,6 +204,44 @@ class Medium:
         ``receiver`` (capture condition)?  ``others`` excludes ``tx`` and
         contains only transmissions from senders other than ``receiver``."""
         raise NotImplementedError
+
+    # --------------------------------------------------- interference hooks
+    def _new_tx_clean(
+        self,
+        tx: Transmission,
+        port: ReceiverPort,
+        concurrent: List[Transmission],
+        memo: Dict[ReceiverPort, Any],
+    ) -> bool:
+        """Does the just-started ``tx`` begin cleanly at ``port``?
+
+        ``concurrent`` is the list of other in-flight transmissions that
+        overlap ``tx`` (start order); ``memo`` is a scratch dict scoped to
+        this :meth:`transmit` call for per-port aggregates.  ``port`` is
+        guaranteed not to be transmitting.  The default delegates to
+        :meth:`_interference_ok` for third-party subclasses.
+        """
+        return self._interference_ok(tx, port, concurrent)
+
+    def _reception_survives(
+        self,
+        other: Transmission,
+        port: ReceiverPort,
+        tx: Transmission,
+        concurrent: List[Transmission],
+        memo: Dict[ReceiverPort, Any],
+    ) -> bool:
+        """Does the in-progress reception of ``other`` at ``port`` survive
+        the arrival of ``tx``?
+
+        ``concurrent`` excludes ``tx`` and includes ``other``; ``port`` is
+        guaranteed not to be transmitting (its receptions would already be
+        corrupted).  The default rebuilds the competitor list and delegates
+        to :meth:`_interference_ok`.
+        """
+        remaining = [t for t in concurrent if t is not other]
+        remaining.append(tx)
+        return self._interference_ok(other, port, remaining)
 
     # ---------------------------------------------------------- transmitting
     def airtime(self, size_bytes: int) -> float:
@@ -165,47 +264,63 @@ class Medium:
         is negligible at nanocell scale (≤ 4 m ≈ 13 ns) and is modelled as
         zero, as in the paper.
         """
-        if sender not in self._ports:
+        if sender not in self._port_index:
             raise MediumError(f"sender {sender.name!r} is not attached")
         if sender in self._transmitting:
             raise MediumError(f"{sender.name!r} is already transmitting")
         now = self.sim.now
         tx = Transmission(frame=frame, sender=sender, start=now, end=now + self.airtime(frame.size_bytes))
-        self._active.add(tx)
+        active = self._active
+        # Transmissions whose scheduled end is exactly now have zero overlap
+        # with this one (their end event just hasn't processed yet) and
+        # cannot interfere; half-duplex corruption below still applies.
+        concurrent = [t for t in active if t.end > now]
+        active[tx] = None
         self._transmitting[sender] = tx
 
         # Half-duplex: anything the sender was copying is now lost.
-        for other in self._active:
+        for other in active:
             if other is not tx and sender in other.receptions:
                 other.receptions[sender] = True  # corrupted
 
         # Start receptions at every audible port and re-check interference.
-        # Transmissions whose scheduled end is exactly now have zero overlap
-        # with this one (their end event just hasn't processed yet) and
-        # cannot interfere.
-        concurrent = [t for t in self._active if t is not tx and t.end > now]
+        # The audibility memo and carrier counter are inlined here (see
+        # audible()/_carrier_up()): this loop runs for every attached port
+        # on every frame.
+        audible_cache = self._audible_cache
+        sender_id = id(sender)
+        memo: Dict[ReceiverPort, Any] = {}
+        transmitting = self._transmitting
+        carrier_count = self._carrier_count
+        receptions = tx.receptions
         for port in self._ports:
             if port is sender:
                 continue
-            if self._audible(sender, port):
-                corrupted = port in self._transmitting
-                others = [t for t in concurrent if t.sender is not port]
-                if not corrupted and not self._interference_ok(tx, port, others):
+            key = (sender_id, id(port))
+            hearable = audible_cache.get(key)
+            if hearable is None:
+                hearable = audible_cache[key] = self._audible(sender, port)
+            if hearable:
+                corrupted = port in transmitting
+                if not corrupted and concurrent and not self._new_tx_clean(
+                    tx, port, concurrent, memo
+                ):
                     corrupted = True
-                tx.receptions[port] = corrupted
-                self._carrier_up(port)
+                receptions[port] = corrupted
+                count = carrier_count.get(port)
+                if count is not None:
+                    carrier_count[port] = count + 1
+                    if count == 0:
+                        port.on_carrier(True)
             # The new signal may destroy receptions already in progress at
             # this port — including when it is itself below the reception
             # threshold there ("the sum of the other signals" counts
             # sub-threshold interferers too).
             for other in concurrent:
-                if port in other.receptions and not other.receptions[port]:
-                    remaining = [
-                        t for t in self._active
-                        if t is not other and t.sender is not port and t.end > now
-                    ]
-                    if not self._interference_ok(other, port, remaining):
-                        other.receptions[port] = True
+                if other.receptions.get(port) is False and not self._reception_survives(
+                    other, port, tx, concurrent, memo
+                ):
+                    other.receptions[port] = True
 
         # Priority -1: at a time tie, receivers learn of the frame's end
         # before any of their own timers fire (see EventHandle docs).
@@ -213,22 +328,30 @@ class Medium:
         return tx
 
     def _finish(self, tx: Transmission) -> None:
-        self._active.discard(tx)
+        self._active.pop(tx, None)
         if self._transmitting.get(tx.sender) is tx:
             del self._transmitting[tx.sender]
         trace = self.sim.trace
+        record = trace.enabled
+        carrier_count = self._carrier_count
+        now = self.sim.now
+        noise = bool(self._noise_models)
         for port, corrupted in tx.receptions.items():
-            if port not in self._carrier_count:
+            count = carrier_count.get(port)
+            if count is None:
                 continue  # detached mid-flight
-            self._carrier_down(port)
-            clean = not corrupted and not self._noise_drops(tx, port)
+            # _carrier_down inlined: one dict probe instead of two.
+            carrier_count[port] = count - 1
+            if count == 1:
+                port.on_carrier(False)
+            clean = not corrupted and not (noise and self._noise_drops(tx, port))
             if clean:
                 self.clean_deliveries += 1
             else:
                 self.corrupt_deliveries += 1
-            if trace.enabled:
+            if record:
                 trace.record(
-                    self.sim.now, "recv", port.name,
+                    now, "recv", port.name,
                     frame=tx.frame.describe(),
                     kind=tx.frame.kind.value,
                     src=tx.frame.src,
@@ -242,7 +365,7 @@ class Medium:
         # (its last frame still occupied the air; see detach()).  Without
         # this check a dead station's completion callback could restart
         # its contention machinery and spin until the simulation horizon.
-        if tx.sender in self._carrier_count:
+        if tx.sender in carrier_count:
             tx.sender.on_transmit_complete(tx)
 
     def _noise_drops(self, tx: Transmission, receiver: ReceiverPort) -> bool:

@@ -1,0 +1,219 @@
+"""Engine micro-benchmarks with a committed JSON baseline.
+
+Measures the simulator machinery itself — bare kernel event throughput
+plus two saturated MACAW cells — and compares events/sec against the
+committed ``benchmarks/BENCH_engine.json``:
+
+* ``python -m repro.runner.bench`` runs the benches and prints a table;
+* ``--write`` refreshes the baseline in place (run on a quiet machine);
+* ``--check`` fails (exit 1) when any bench's events/sec falls more than
+  ``tolerance`` (default 25%) below the baseline — the CI regression
+  gate.
+
+The baseline file also keeps a frozen ``pre_pr`` section: the numbers the
+engine produced before the performance PR, kept so the speedup claim
+stays auditable.  ``--write`` never touches it.
+
+Wall-clock timing here is intentional and exempt from the determinism
+lint (REPRO102): benches measure the host, not the simulation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sim.kernel import Simulator
+
+#: Relative events/sec drop that fails ``--check`` (0.25 = 25% slower).
+DEFAULT_TOLERANCE = 0.25
+
+#: Timed repeats per bench; the best (least-interrupted) run is kept.
+DEFAULT_REPEATS = 3
+
+_BASELINE_NAME = "BENCH_engine.json"
+
+
+def default_baseline_path() -> Path:
+    """``benchmarks/BENCH_engine.json`` at the repository root."""
+    return Path(__file__).resolve().parents[3] / "benchmarks" / _BASELINE_NAME
+
+
+# --------------------------------------------------------------------- benches
+
+def _bench_kernel_chain() -> int:
+    """Schedule-and-fire cost of the bare event loop (50k chained events)."""
+    sim = Simulator()
+
+    def chain(n: int) -> None:
+        if n:
+            sim.schedule(0.001, chain, n - 1)
+
+    chain(50_000)
+    sim.run()
+    return sim.events_fired
+
+
+def _bench_single_stream() -> int:
+    """One saturated MACAW stream, 100 s simulated."""
+    from repro.topo.figures import single_stream_cell
+
+    scenario = single_stream_cell(protocol="macaw", seed=1).build().run(100.0)
+    return scenario.sim.events_fired
+
+
+def _bench_six_pad() -> int:
+    """The contended six-pad MACAW cell of Figure 3, 100 s simulated."""
+    from repro.topo.figures import fig3_six_pads
+
+    scenario = fig3_six_pads(protocol="macaw", seed=1).build().run(100.0)
+    return scenario.sim.events_fired
+
+
+BENCHES: List[Tuple[str, Callable[[], int]]] = [
+    ("kernel_chain", _bench_kernel_chain),
+    ("single_stream_cell", _bench_single_stream),
+    ("six_pad_cell", _bench_six_pad),
+]
+
+
+def run_benches(repeats: int = DEFAULT_REPEATS) -> Dict[str, Dict[str, float]]:
+    """Run every bench ``repeats`` times; keep each bench's best wall time."""
+    results: Dict[str, Dict[str, float]] = {}
+    for name, fn in BENCHES:
+        best: Optional[float] = None
+        events = 0
+        for _ in range(max(1, repeats)):
+            started = time.perf_counter()  # repro-lint: allow=REPRO102 (bench)
+            events = fn()
+            wall = time.perf_counter() - started  # repro-lint: allow=REPRO102
+            if best is None or wall < best:
+                best = wall
+        assert best is not None
+        results[name] = {
+            "events": events,
+            "wall_s": round(best, 4),
+            "events_per_sec": round(events / best, 1),
+        }
+    return results
+
+
+# -------------------------------------------------------------- baseline file
+
+def load_baseline(path: Path) -> Dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def write_baseline(path: Path, results: Dict[str, Dict[str, float]]) -> None:
+    """Write the measured baseline, preserving any frozen ``pre_pr`` block."""
+    data: Dict = {
+        "schema": 1,
+        "tolerance": DEFAULT_TOLERANCE,
+        "note": (
+            "Engine micro-benchmark baseline. 'benchmarks' is refreshed by "
+            "`python -m repro.runner.bench --write`; 'pre_pr' is the frozen "
+            "pre-optimization reference and is never rewritten."
+        ),
+    }
+    if path.exists():
+        try:
+            previous = load_baseline(path)
+        except (OSError, json.JSONDecodeError):
+            previous = {}
+        if "pre_pr" in previous:
+            data["pre_pr"] = previous["pre_pr"]
+        if "tolerance" in previous:
+            data["tolerance"] = previous["tolerance"]
+    data["benchmarks"] = results
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def check_against(
+    baseline: Dict, results: Dict[str, Dict[str, float]]
+) -> List[str]:
+    """Regression messages; empty when every bench is within tolerance."""
+    tolerance = float(baseline.get("tolerance", DEFAULT_TOLERANCE))
+    committed = baseline.get("benchmarks", {})
+    failures: List[str] = []
+    for name, current in results.items():
+        reference = committed.get(name)
+        if reference is None:
+            continue
+        floor = reference["events_per_sec"] * (1.0 - tolerance)
+        if current["events_per_sec"] < floor:
+            failures.append(
+                f"{name}: {current['events_per_sec']:,.0f} events/sec is below "
+                f"{floor:,.0f} (baseline {reference['events_per_sec']:,.0f} "
+                f"- {tolerance:.0%} tolerance)"
+            )
+    return failures
+
+
+def _render(results: Dict[str, Dict[str, float]]) -> str:
+    lines = [f"{'bench':24} {'events':>10} {'wall (s)':>10} {'events/sec':>12}"]
+    for name, row in results.items():
+        lines.append(
+            f"{name:24} {row['events']:>10,.0f} {row['wall_s']:>10.3f} "
+            f"{row['events_per_sec']:>12,.0f}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runner.bench",
+        description="Engine micro-benchmarks vs the committed baseline.",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help=f"baseline JSON (default: benchmarks/{_BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=DEFAULT_REPEATS,
+        help="timed repeats per bench; the best run is kept",
+    )
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--write", action="store_true",
+        help="refresh the baseline file with this machine's numbers",
+    )
+    mode.add_argument(
+        "--check", action="store_true",
+        help="fail if any bench's events/sec regresses beyond tolerance",
+    )
+    args = parser.parse_args(argv)
+
+    path = args.baseline if args.baseline is not None else default_baseline_path()
+    results = run_benches(repeats=args.repeats)
+    print(_render(results))
+
+    if args.write:
+        write_baseline(path, results)
+        print(f"\nbaseline written to {path}")
+        return 0
+    if args.check:
+        try:
+            baseline = load_baseline(path)
+        except OSError as exc:
+            print(f"\ncannot read baseline {path}: {exc}", file=sys.stderr)
+            return 2
+        failures = check_against(baseline, results)
+        if failures:
+            print("\nREGRESSION:", file=sys.stderr)
+            for message in failures:
+                print(f"  {message}", file=sys.stderr)
+            return 1
+        print("\nall benches within tolerance of the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

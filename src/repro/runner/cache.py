@@ -1,0 +1,131 @@
+"""On-disk memo of experiment cell results.
+
+Regenerating the paper's tables is embarrassingly repetitive: the same
+(experiment, seed, duration, warmup) cells run again and again while only
+one table is being worked on.  The cache stores each finished
+:class:`~repro.runner.cells.CellResult` as a pickle keyed by
+
+    sha256(exp_id, seed, duration, warmup, config-hash, code-version)
+
+where *config-hash* folds in every runtime knob that changes results
+(currently: sanitize mode and digest collection, which force-enable
+tracing) and *code-version* is a content hash over every ``repro/*.py``
+source file.  Any edit to the simulator therefore invalidates every entry
+— stale physics can never leak into a table — while re-running an
+untouched tree is pure cache hits.
+
+The cache is advisory: unreadable or unpicklable entries count as misses,
+and writes go through an atomic rename so a crashed run never leaves a
+truncated entry behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.runner.cells import Cell, CellResult
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "MACAW_CACHE_DIR"
+
+#: Default cache location (under the working directory, like .pytest_cache).
+DEFAULT_CACHE_DIR = ".macaw_cache"
+
+_code_version_memo: Optional[str] = None
+
+
+def code_version() -> str:
+    """Content hash of every ``repro`` source file, memoized per process."""
+    global _code_version_memo
+    if _code_version_memo is None:
+        import repro
+
+        package_root = Path(repro.__file__).resolve().parent
+        hasher = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            hasher.update(str(path.relative_to(package_root)).encode("utf-8"))
+            hasher.update(b"\0")
+            hasher.update(path.read_bytes())
+            hasher.update(b"\0")
+        _code_version_memo = hasher.hexdigest()
+    return _code_version_memo
+
+
+def config_hash(sanitize: bool, collect_digests: bool) -> str:
+    """Hash of the runtime knobs that alter a cell's observable result."""
+    blob = json.dumps(
+        {"sanitize": sanitize, "collect_digests": collect_digests},
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Pickle-per-entry cell cache rooted at ``directory``."""
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        if directory is None:
+            directory = os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+
+    # ----------------------------------------------------------------- keys
+    def key(self, cell: Cell, config: str, version: Optional[str] = None) -> str:
+        """Cache key for a cell; requires pinned duration/warmup."""
+        cell = cell.resolved()
+        blob = json.dumps(
+            {
+                "exp_id": cell.exp_id,
+                "seed": cell.seed,
+                "duration": cell.duration,
+                "warmup": cell.warmup,
+                "config": config,
+                "code": version if version is not None else code_version(),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    # -------------------------------------------------------------- get/put
+    def get(self, cell: Cell, config: str, version: Optional[str] = None) -> Optional[CellResult]:
+        """The cached result, or None on a miss (or unreadable entry)."""
+        path = self._path(self.key(cell, config, version))
+        try:
+            with open(path, "rb") as handle:
+                result = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            self.misses += 1
+            return None
+        if not isinstance(result, CellResult):
+            self.misses += 1
+            return None
+        self.hits += 1
+        result.cached = True
+        result.wall_s = 0.0
+        return result
+
+    def put(self, result: CellResult, config: str, version: Optional[str] = None) -> None:
+        """Store a finished cell atomically (tmp file + rename)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(self.key(result.cell, config, version))
+        fd, tmp = tempfile.mkstemp(dir=str(self.directory), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

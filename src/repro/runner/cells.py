@@ -1,0 +1,81 @@
+"""The unit of parallel experiment work: one (experiment, seed) cell.
+
+The paper's evaluation is a grid of tables × variants × seeds.  Each
+:class:`Cell` names one grid cell — an experiment id plus a seed and run
+bounds — and a :class:`CellResult` carries everything a table, bench or
+equivalence test needs back from running it.  Cells are tiny, picklable
+and order-independent, which is what lets the runner fan them out over
+worker processes and memoize them on disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, List, Optional, Sequence
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import get_experiment
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One (experiment, seed) run request.
+
+    ``duration``/``warmup`` of None mean "the experiment's default"; use
+    :meth:`resolved` to pin them, which the cache must do so that explicit
+    defaults and implied defaults hit the same entry.
+    """
+
+    exp_id: str
+    seed: int = 0
+    duration: Optional[float] = None
+    warmup: Optional[float] = None
+
+    def resolved(self) -> "Cell":
+        """The same cell with duration/warmup pinned to concrete values."""
+        if self.duration is not None and self.warmup is not None:
+            return self
+        exp = get_experiment(self.exp_id)
+        return replace(
+            self,
+            duration=self.duration if self.duration is not None else exp.default_duration,
+            warmup=self.warmup if self.warmup is not None else exp.default_warmup,
+        )
+
+
+@dataclass
+class CellResult:
+    """Outcome of one cell run."""
+
+    cell: Cell
+    result: ExperimentResult
+    #: Combined trace digest when the run collected digests (None otherwise).
+    digest: Optional[str] = None
+    #: Wall-clock seconds the run took (0.0 when served from the cache).
+    wall_s: float = 0.0
+    #: True when the result came from the on-disk cache, not a fresh run.
+    cached: bool = False
+    #: Qualitative check failures, for quick fleet-level summaries.
+    failed_checks: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.failed_checks
+
+
+def expand_cells(
+    exp_ids: Iterable[str],
+    seeds: Sequence[int],
+    duration: Optional[float] = None,
+    warmup: Optional[float] = None,
+) -> List[Cell]:
+    """The full experiment × seed grid, experiments outermost.
+
+    The order is the deterministic output order of
+    :func:`repro.runner.run_cells` regardless of worker scheduling.
+    """
+    return [
+        Cell(exp_id=exp_id, seed=seed, duration=duration, warmup=warmup)
+        for exp_id in exp_ids
+        for seed in seeds
+    ]

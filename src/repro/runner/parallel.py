@@ -1,0 +1,126 @@
+"""Fan experiment cells out over worker processes.
+
+Each cell is an independent simulation with its own seeded RNG universe,
+so the sweep is embarrassingly parallel — the only contract is that the
+*results* must be indistinguishable from a serial sweep.  Three design
+points keep that true:
+
+* workers receive only the cell description (experiment id + seed +
+  bounds) and re-instantiate the experiment from the registry, so no
+  mutable state travels between processes;
+* output order is input order regardless of worker scheduling
+  (``Pool.map`` preserves ordering);
+* sanitize mode is resolved in the parent and shipped in the payload, so
+  a ``with sanitized():`` block in the parent applies in workers too
+  (environment-variable opt-in already travels with the environment).
+
+Determinism is enforced end-to-end by the serial-vs-parallel digest tests:
+same cells through ``jobs=1`` and ``jobs=N`` must produce byte-identical
+per-cell ``Trace.digest()`` values.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from repro.experiments.registry import get_experiment
+from repro.runner.cache import ResultCache, config_hash
+from repro.runner.cells import Cell, CellResult
+from repro.verify.runtime import sanitize_enabled, sanitized
+
+_WorkerPayload = Tuple[Cell, bool, bool]
+
+
+def _preferred_context() -> multiprocessing.context.BaseContext:
+    """Fork where available (cheap, inherits the imported tree), else spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _execute_cell(cell: Cell, collect_digest: bool, sanitize: bool) -> CellResult:
+    """Run one cell in this process and package the outcome."""
+    with sanitized(sanitize):
+        exp = get_experiment(cell.exp_id)
+        started = time.perf_counter()  # repro-lint: allow=REPRO102 (wall-time report)
+        result = exp.run(
+            seed=cell.seed,
+            duration=cell.duration,
+            warmup=cell.warmup,
+            collect_digest=collect_digest,
+        )
+        wall = time.perf_counter() - started  # repro-lint: allow=REPRO102
+    return CellResult(
+        cell=cell.resolved(),
+        result=result,
+        digest=result.digest,
+        wall_s=wall,
+        failed_checks=[name for name, ok in result.checks.items() if not ok],
+    )
+
+
+def _worker(payload: _WorkerPayload) -> CellResult:
+    cell, collect_digest, sanitize = payload
+    return _execute_cell(cell, collect_digest, sanitize)
+
+
+def run_cells(
+    cells: Sequence[Cell],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    collect_digests: bool = False,
+    sanitize: Optional[bool] = None,
+) -> List[CellResult]:
+    """Run every cell and return results in input order.
+
+    Parameters
+    ----------
+    cells:
+        The (experiment, seed) grid to run; see
+        :func:`repro.runner.cells.expand_cells`.
+    jobs:
+        Worker processes.  1 runs serially in-process (no multiprocessing
+        import side effects); N > 1 uses a process pool of at most
+        ``min(jobs, pending cells)`` workers.
+    cache:
+        Optional :class:`ResultCache`; hits skip the run entirely, misses
+        are stored after running.  The cache key folds in the sanitize /
+        digest configuration and the source-tree content hash.
+    collect_digests:
+        Capture per-cell combined trace digests (forces tracing on inside
+        the runs — the equivalence contract between serial and parallel).
+    sanitize:
+        Explicit sanitize override; None resolves the ambient setting
+        (``with sanitized():`` or ``REPRO_SANITIZE``) in the parent.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs!r}")
+    sanitize = sanitize_enabled(sanitize)
+    config = config_hash(sanitize, collect_digests)
+
+    resolved = [cell.resolved() for cell in cells]
+    results: List[Optional[CellResult]] = [None] * len(resolved)
+
+    pending: List[Tuple[int, Cell]] = []
+    for index, cell in enumerate(resolved):
+        hit = cache.get(cell, config) if cache is not None else None
+        if hit is not None:
+            results[index] = hit
+        else:
+            pending.append((index, cell))
+
+    if pending:
+        payloads = [(cell, collect_digests, sanitize) for _, cell in pending]
+        if jobs == 1 or len(pending) == 1:
+            fresh = [_worker(payload) for payload in payloads]
+        else:
+            ctx = _preferred_context()
+            with ctx.Pool(processes=min(jobs, len(pending))) as pool:
+                fresh = pool.map(_worker, payloads, chunksize=1)
+        for (index, _), outcome in zip(pending, fresh):
+            results[index] = outcome
+            if cache is not None:
+                cache.put(outcome, config)
+
+    return [result for result in results if result is not None]

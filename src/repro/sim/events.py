@@ -5,6 +5,11 @@ and :meth:`repro.sim.kernel.Simulator.schedule`.  Cancellation is lazy: the
 heap entry stays in the queue but is skipped when popped.  This keeps both
 scheduling and cancellation O(log n) / O(1) and avoids the cost of heap
 surgery, which matters because MAC state machines cancel timers constantly.
+
+The kernel stores ``(time, priority, seq, handle)`` tuples in its heap
+rather than the handles themselves, so sift comparisons run on C-level
+tuples; :meth:`EventHandle.__lt__` is kept only for code that orders
+handles directly.
 """
 
 from __future__ import annotations
@@ -27,15 +32,22 @@ class EventHandle:
     deliveries at priority -1 so that a station processes "I just heard the
     end of that RTS" *before* "my contention slot boundary arrived" when the
     two coincide — a real radio's defer check sees the finished frame.
+
+    ``owner`` (set by the kernel) is notified on :meth:`cancel` so the
+    simulator can maintain its live-event count in O(1).
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "_cancelled", "_fired")
+    __slots__ = (
+        "time", "priority", "seq", "callback", "args", "owner",
+        "_cancelled", "_fired",
+    )
 
     time: float
     priority: int
     seq: int
     callback: Optional[Callable[..., Any]]
     args: Tuple[Any, ...]
+    owner: Optional[Any]
     _cancelled: bool
     _fired: bool
 
@@ -45,12 +57,14 @@ class EventHandle:
         callback: Callable[..., Any],
         args: Tuple[Any, ...] = (),
         priority: int = 0,
+        owner: Optional[Any] = None,
     ) -> None:
         self.time = time
         self.priority = priority
         self.seq = next(_sequence)
         self.callback = callback
         self.args = args
+        self.owner = owner
         self._cancelled = False
         self._fired = False
 
@@ -75,12 +89,16 @@ class EventHandle:
         Returns True when the event was still pending, False when it had
         already fired or been cancelled (cancelling twice is harmless).
         """
-        if not self.pending:
+        if self._cancelled or self._fired:
             return False
         self._cancelled = True
         # Break reference cycles early; the heap entry lingers until popped.
         self.callback = None
         self.args = ()
+        owner = self.owner
+        if owner is not None:
+            self.owner = None
+            owner._note_cancelled()
         return True
 
     def _fire(self) -> None:
@@ -91,6 +109,7 @@ class EventHandle:
         callback, args = self.callback, self.args
         self.callback = None
         self.args = ()
+        self.owner = None
         assert callback is not None
         callback(*args)
 

@@ -10,6 +10,15 @@ delay) or :meth:`Simulator.at` (absolute time) and drives the run with
 * a cancelled event never fires;
 * the clock never moves backwards.
 
+The heap holds ``(time, priority, seq, handle)`` tuples so that sift
+comparisons are C-level tuple comparisons (``seq`` is unique, so the
+handle itself is never compared).  Cancelled events are dropped lazily
+when popped; a live-event counter — maintained in O(1) on schedule, fire
+and cancel — both answers :meth:`Simulator.pending_count` without walking
+the heap and triggers a compaction sweep when cancelled entries dominate
+the queue, which keeps long timer-heavy runs from dragging dead weight
+through every sift.
+
 The paper's simulator (§3) is event-driven at packet granularity; runs of
 500–2000 simulated seconds at 256 kbps produce on the order of 10^5–10^6
 events, which this pure-Python heap handles comfortably.
@@ -17,12 +26,19 @@ events, which this pure-Python heap handles comfortably.
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, List, Optional
+from heapq import heapify, heappop, heappush
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.sim.events import EventHandle
 from repro.sim.rng import RandomStreams
 from repro.sim.trace import Trace
+
+#: Compact the heap when it holds more than this many entries and fewer
+#: than half of them are live.  Small enough to bound memory on cancel-heavy
+#: workloads, large enough that compaction never shows up on short runs.
+_COMPACT_MIN_SIZE = 512
+
+_HeapEntry = Tuple[float, int, int, EventHandle]
 
 
 class SimulationError(RuntimeError):
@@ -46,7 +62,8 @@ class Simulator:
 
     def __init__(self, seed: int = 0, trace: Optional[Trace] = None) -> None:
         self._now = 0.0
-        self._heap: List[EventHandle] = []
+        self._heap: List[_HeapEntry] = []
+        self._live = 0
         self._running = False
         self._stopped = False
         self.streams = RandomStreams(seed)
@@ -72,8 +89,9 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time:.9f}, clock already at {self._now:.9f}"
             )
-        handle = EventHandle(time, callback, args, priority=priority)
-        heapq.heappush(self._heap, handle)
+        handle = EventHandle(time, callback, args, priority=priority, owner=self)
+        heappush(self._heap, (time, priority, handle.seq, handle))
+        self._live += 1
         return handle
 
     def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
@@ -89,6 +107,17 @@ class Simulator:
         preserving causal ordering within a single instant.
         """
         return self.at(self._now, callback, *args)
+
+    # ------------------------------------------------------- live bookkeeping
+    def _note_cancelled(self) -> None:
+        """An event created by this simulator was cancelled (EventHandle)."""
+        self._live -= 1
+        heap = self._heap
+        if len(heap) > _COMPACT_MIN_SIZE and self._live < len(heap) // 2:
+            # Rebuild with pending entries only.  Ordering is unaffected:
+            # entries keep their (time, priority, seq) keys.
+            self._heap = [entry for entry in heap if entry[3].pending]
+            heapify(self._heap)
 
     # --------------------------------------------------------------- running
     def run(self, until: Optional[float] = None) -> float:
@@ -109,18 +138,26 @@ class Simulator:
             )
         self._running = True
         self._stopped = False
+        heap = self._heap
+        pop = heappop
         try:
-            while self._heap and not self._stopped:
-                head = self._heap[0]
-                if not head.pending:
-                    heapq.heappop(self._heap)
+            # Entries are pushed exactly once and popped before firing, so a
+            # queued handle can only be pending or cancelled — reading the
+            # _cancelled slot directly skips a property call per event.
+            while heap and not self._stopped:
+                entry = heap[0]
+                head = entry[3]
+                if head._cancelled:
+                    pop(heap)
                     continue
-                if until is not None and head.time > until:
+                if until is not None and entry[0] > until:
                     break
-                heapq.heappop(self._heap)
-                self._now = head.time
+                pop(heap)
+                self._now = entry[0]
+                self._live -= 1
                 head._fire()
                 self.events_fired += 1
+                heap = self._heap  # compaction may have swapped the list
         finally:
             self._running = False
         if until is not None and self._now < until and not self._stopped:
@@ -130,10 +167,11 @@ class Simulator:
     def step(self) -> bool:
         """Fire exactly one pending event.  Returns False when none remain."""
         while self._heap:
-            head = heapq.heappop(self._heap)
-            if not head.pending:
+            head = heappop(self._heap)[3]
+            if head._cancelled:
                 continue
             self._now = head.time
+            self._live -= 1
             head._fire()
             self.events_fired += 1
             return True
@@ -145,13 +183,13 @@ class Simulator:
 
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or None when the queue is empty."""
-        while self._heap and not self._heap[0].pending:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        while self._heap and self._heap[0][3]._cancelled:
+            heappop(self._heap)
+        return self._heap[0][0] if self._heap else None
 
     def pending_count(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for event in self._heap if event.pending)
+        """Number of live (non-cancelled) events still queued.  O(1)."""
+        return self._live
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

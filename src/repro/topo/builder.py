@@ -43,7 +43,12 @@ from repro.verify.conformance import (
     ConformanceReport,
     check_scenario,
 )
-from repro.verify.runtime import note_report, sanitize_enabled
+from repro.verify.runtime import (
+    digests_enabled,
+    note_digest,
+    note_report,
+    sanitize_enabled,
+)
 
 #: Default warm-up excluded from throughput measurements (§3: "a warmup
 #: period of 50 seconds").
@@ -69,6 +74,10 @@ class Scenario:
         #: When True, every :meth:`run` replays the trace through the
         #: conformance sanitizer and raises on protocol violations.
         self.sanitize = sanitize
+        #: When True (set by the builder while a
+        #: :func:`repro.verify.runtime.capturing_digests` block is active),
+        #: every :meth:`run` reports the trace digest to the capture sink.
+        self.report_digest = False
         #: Report from the most recent :meth:`verify` / sanitized run.
         self.conformance: Optional[ConformanceReport] = None
 
@@ -87,6 +96,8 @@ class Scenario:
         """
         self.sim.run(until=duration)
         self.duration = duration
+        if self.report_digest:
+            note_digest(self.sim.trace.digest())
         if self.sanitize:
             report = self.verify()
             note_report(sum(report.examined.values()), len(report.violations))
@@ -318,13 +329,18 @@ class ScenarioBuilder:
     def build(self) -> Scenario:
         """Materialize the scenario (idempotent: each call builds afresh)."""
         sanitize = sanitize_enabled(self.sanitize)
-        sim = Simulator(seed=self.seed, trace=Trace(enabled=self.trace or sanitize))
+        report_digest = digests_enabled()
+        sim = Simulator(
+            seed=self.seed,
+            trace=Trace(enabled=self.trace or sanitize or report_digest),
+        )
         if self.medium_kind == "graph":
             medium: Medium = GraphMedium(sim, bitrate_bps=self.bitrate_bps)
         else:
             medium = GridMedium(sim, bitrate_bps=self.bitrate_bps, **self.grid_kwargs)
         recorder = FlowRecorder()
         scenario = Scenario(sim, medium, recorder, sanitize=sanitize)
+        scenario.report_digest = report_digest
         timing = self.timing if self.timing is not None else MacTiming(
             bitrate_bps=self.bitrate_bps
         )

@@ -34,8 +34,15 @@ class Station:
 
     @position.setter
     def position(self, value: Tuple[float, float, float]) -> None:
-        """Move the station (read by the grid medium at each transmission)."""
+        """Move the station and invalidate the medium's link cache.
+
+        The grid medium memoizes pairwise audibility and receive power, so
+        movement must flush it; code that repositions a MAC directly (not
+        through a :class:`Station`) must call
+        :meth:`~repro.phy.medium.Medium.invalidate_links` itself.
+        """
         self.mac.position = value
+        self.mac.medium.invalidate_links()
 
     @property
     def powered(self) -> bool:

@@ -25,6 +25,11 @@ mechanically:
 ``REPRO105`` unused-import
     Imports that are never referenced (and not re-exported via
     ``__all__``) — drift that hides real dependencies.
+``REPRO106`` private-audibility
+    No ``._audible`` access outside ``repro/phy``: upper layers must go
+    through ``Medium.audible(sender, receiver)``, the cached public
+    accessor, so the per-pair link cache stays authoritative and hot
+    paths never bypass it.
 
 Run it as a module::
 
@@ -84,10 +89,17 @@ def _allowed_codes(source_lines: Sequence[str], line: int) -> Set[str]:
 
 
 class _Visitor(ast.NodeVisitor):
-    def __init__(self, path: str, is_rng_module: bool, is_kernel_module: bool) -> None:
+    def __init__(
+        self,
+        path: str,
+        is_rng_module: bool,
+        is_kernel_module: bool,
+        is_phy_module: bool = False,
+    ) -> None:
         self.path = path
         self.is_rng_module = is_rng_module
         self.is_kernel_module = is_kernel_module
+        self.is_phy_module = is_phy_module
         self.findings: List[Finding] = []
         #: Aliases bound to the stdlib ``random`` module.
         self.random_aliases: Set[str] = set()
@@ -166,6 +178,14 @@ class _Visitor(ast.NodeVisitor):
         self.generic_visit(node)
 
     def visit_Attribute(self, node: ast.Attribute) -> None:
+        # REPRO106: the audibility predicate is private to the physical
+        # layer; everything above it must use the cached Medium.audible().
+        if node.attr == "_audible" and not self.is_phy_module:
+            self._report(
+                node, "REPRO106",
+                "direct '._audible' access outside repro/phy; use the cached"
+                " Medium.audible(sender, receiver) accessor",
+            )
         # REPRO101: random.<anything>, np.random.<anything>.
         base = node.value
         if isinstance(base, ast.Name):
@@ -301,6 +321,7 @@ def lint_source(source: str, path: str = "<string>") -> List[Finding]:
         path,
         is_rng_module=normalized.endswith("sim/rng.py"),
         is_kernel_module=normalized.endswith("sim/kernel.py"),
+        is_phy_module="/phy/" in normalized or normalized.startswith("phy/"),
     )
     visitor.visit(tree)
     findings = visitor.findings

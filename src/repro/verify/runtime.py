@@ -16,11 +16,14 @@ from __future__ import annotations
 import os
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterator, List, Optional
 
 __all__ = [
     "SanitizeStats",
+    "capturing_digests",
+    "digests_enabled",
     "force_sanitize",
+    "note_digest",
     "note_report",
     "sanitize_enabled",
     "sanitized",
@@ -70,6 +73,42 @@ def note_report(examined: int, violations: int) -> None:
         _stats.runs += 1
         _stats.records += examined
         _stats.violations += violations
+
+
+#: Digest sink of the innermost active :func:`capturing_digests` block.
+#: While set, ScenarioBuilder.build() force-enables tracing and every
+#: Scenario.run() appends its trace digest here — the hook the parallel
+#: experiment runner uses to prove serial/parallel equivalence without
+#: threading a flag through every experiment driver.
+_digest_sink: Optional[List[str]] = None
+
+
+def digests_enabled() -> bool:
+    """True while a :func:`capturing_digests` block is active."""
+    return _digest_sink is not None
+
+
+def note_digest(digest: str) -> None:
+    """Record one scenario run's trace digest (called by Scenario.run)."""
+    if _digest_sink is not None:
+        _digest_sink.append(digest)
+
+
+@contextmanager
+def capturing_digests() -> Iterator[List[str]]:
+    """Force tracing on and collect every scenario's trace digest.
+
+    Yields the list the digests accumulate into, in scenario-run order
+    (experiments run their variants sequentially, so the order — and hence
+    any combined digest — is deterministic).
+    """
+    global _digest_sink
+    previous = _digest_sink
+    _digest_sink = sink = []
+    try:
+        yield sink
+    finally:
+        _digest_sink = previous
 
 
 @contextmanager

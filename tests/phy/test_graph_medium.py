@@ -197,3 +197,26 @@ def test_delivery_statistics(sim, graph):
     graph.transmit(c, data("C", "B"))
     sim.run()
     assert graph.corrupt_deliveries >= 2
+
+
+def test_set_link_invalidates_audibility_cache(sim, graph):
+    a, b = make_ports(graph, "A", "B")
+    graph.set_link(a, b)
+    # Warm the per-pair cache through the public accessor...
+    assert graph.audible(a, b)
+    # ...then rewire: set_link must invalidate, not serve the stale edge.
+    graph.set_link(a, b, connected=False)
+    assert not graph.audible(a, b)
+    frame = data("A", "B")
+    graph.transmit(a, frame)
+    sim.run()
+    assert b.clean_frames() == []
+
+
+def test_attach_invalidates_audibility_cache(sim, graph):
+    a, b = make_ports(graph, "A", "B")
+    graph.set_link(a, b)
+    assert graph.audible(a, b)
+    c, = make_ports(graph, "C")
+    graph.set_link(a, c)
+    assert graph.audible(a, c)

@@ -100,13 +100,26 @@ def test_positions_snap_to_same_cube(grid):
     assert grid.power_between(a, b) == grid.power_between(a, c)
 
 
-def test_mobile_station_position_read_at_transmit_time(sim, grid):
+def test_mobile_station_moves_into_range_after_invalidation(sim, grid):
     a = port_at(grid, "A", 0.0)
     b = port_at(grid, "B", 30.0)
     grid.transmit(a, data("A", "B"))
     sim.run()
     assert b.frames == []
     b.position = (5.0, 0.5, 0.5)  # B moves into range
+    grid.invalidate_links()  # Station.position does this automatically
     grid.transmit(a, data("A", "B"))
     sim.run()
     assert len(b.clean_frames()) == 1
+
+
+def test_stale_link_cache_without_invalidation(sim, grid):
+    # Documents the cache contract: raw position writes on a bare port do
+    # NOT flush the link cache once a pair has been evaluated.
+    a = port_at(grid, "A", 0.0)
+    b = port_at(grid, "B", 30.0)
+    assert not grid.in_range(a, b)
+    b.position = (5.0, 0.5, 0.5)
+    assert not grid.in_range(a, b)  # memoized
+    grid.invalidate_links()
+    assert grid.in_range(a, b)

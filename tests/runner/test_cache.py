@@ -1,0 +1,63 @@
+"""On-disk result cache: round-trips, key sensitivity, corruption safety."""
+
+from repro.runner import Cell, ResultCache, config_hash, run_cells
+
+
+def _run_one(cache, collect=True):
+    cells = [Cell("table9", seed=0, duration=30.0, warmup=5.0)]
+    return run_cells(cells, jobs=1, cache=cache, collect_digests=collect)[0]
+
+
+def test_round_trip_hits_and_preserves_result(tmp_path):
+    cache = ResultCache(tmp_path)
+    fresh = _run_one(cache)
+    assert not fresh.cached and cache.misses == 1 and cache.hits == 0
+
+    again = _run_one(cache)
+    assert again.cached and cache.hits == 1
+    assert again.wall_s == 0.0
+    assert again.digest == fresh.digest
+    assert again.result.table.render() == fresh.result.table.render()
+    assert again.result.checks == fresh.result.checks
+
+
+def test_key_changes_with_every_cell_and_config_field(tmp_path):
+    cache = ResultCache(tmp_path)
+    base = Cell("table9", seed=0, duration=30.0, warmup=5.0)
+    config = config_hash(sanitize=False, collect_digests=True)
+    reference = cache.key(base, config)
+
+    variants = [
+        Cell("table3", seed=0, duration=30.0, warmup=5.0),
+        Cell("table9", seed=1, duration=30.0, warmup=5.0),
+        Cell("table9", seed=0, duration=31.0, warmup=5.0),
+        Cell("table9", seed=0, duration=30.0, warmup=6.0),
+    ]
+    keys = {cache.key(cell, config) for cell in variants}
+    keys.add(cache.key(base, config_hash(sanitize=True, collect_digests=True)))
+    keys.add(cache.key(base, config, version="other-code-version"))
+    assert reference not in keys
+    assert len(keys) == 6
+
+
+def test_stale_code_version_misses(tmp_path):
+    cache = ResultCache(tmp_path)
+    config = config_hash(sanitize=False, collect_digests=True)
+    fresh = _run_one(cache)
+    cell = fresh.cell
+    # Same cell under a different source-tree hash must not hit.
+    assert cache.get(cell, config, version="pretend-old-tree") is None
+
+
+def test_corrupt_entry_is_a_miss_not_an_error(tmp_path):
+    cache = ResultCache(tmp_path)
+    config = config_hash(sanitize=False, collect_digests=True)
+    fresh = _run_one(cache)
+    path = cache._path(cache.key(fresh.cell, config))
+    assert path.exists()
+    path.write_bytes(b"not a pickle")
+    assert cache.get(fresh.cell, config) is None
+    # And the cache repairs itself on the next run.
+    again = _run_one(cache)
+    assert not again.cached
+    assert _run_one(cache).cached

@@ -208,3 +208,56 @@ def test_run_is_not_reentrant():
     sim.schedule(1.0, nested)
     sim.run()
     assert len(errors) == 1
+
+
+def test_pending_count_is_live_counter_not_heap_walk():
+    sim = Simulator()
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(100)]
+    assert sim.pending_count() == 100
+    for handle in handles[::2]:
+        handle.cancel()
+    assert sim.pending_count() == 50
+    sim.run(until=10.0)  # fires the 5 surviving events at t=2,4,6,8,10
+    assert sim.pending_count() == 50 - 5
+    assert len(sim._heap) >= sim.pending_count()
+
+
+def test_mass_cancel_compacts_heap():
+    sim = Simulator()
+    keep = sim.schedule(2000.0, lambda: None)
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(2000)]
+    for handle in handles:
+        handle.cancel()
+    # Cancelled entries dominate a large heap, so compaction must sweep
+    # them out; the heap stays bounded near the compaction threshold
+    # instead of dragging 2000 dead entries through every sift.
+    from repro.sim.kernel import _COMPACT_MIN_SIZE
+
+    assert sim.pending_count() == 1
+    assert len(sim._heap) <= _COMPACT_MIN_SIZE + 1
+    sim.run()
+    assert sim.now == 2000.0
+    assert keep.fired
+
+
+def test_compaction_preserves_firing_order():
+    sim = Simulator()
+    fired = []
+    survivors = []
+    for i in range(1500):
+        handle = sim.schedule(float(i + 1), fired.append, i)
+        if i % 3:
+            handle.cancel()
+        else:
+            survivors.append(i)
+    sim.run()
+    assert fired == survivors
+
+
+def test_cancel_inside_callback_keeps_counter_consistent():
+    sim = Simulator()
+    victim = sim.schedule(2.0, lambda: None)
+    sim.schedule(1.0, victim.cancel)
+    sim.run()
+    assert sim.pending_count() == 0
+    assert sim.events_fired == 1

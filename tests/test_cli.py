@@ -55,3 +55,56 @@ def test_verify_trace_leaves_sanitize_mode_off(capsys):
     main(["verify-trace", "table9", "--duration", "60", "--warmup", "10"])
     capsys.readouterr()
     assert not sanitize_enabled()
+
+
+def test_seeds_accepts_explicit_comma_list(capsys):
+    code = main([
+        "table9", "--duration", "30", "--warmup", "5",
+        "--seeds", "3,5", "--digest",
+    ])
+    out = capsys.readouterr().out
+    assert "digest seed 3:" in out and "digest seed 5:" in out
+    assert "mean of 2 seeds" in out
+    assert code in (0, 1)
+
+
+def test_seeds_count_still_expands_from_base_seed(capsys):
+    main([
+        "table9", "--duration", "30", "--warmup", "5",
+        "--seed", "4", "--seeds", "2", "--digest",
+    ])
+    out = capsys.readouterr().out
+    assert "digest seed 4:" in out and "digest seed 5:" in out
+
+
+def test_invalid_seeds_value_returns_2(capsys):
+    assert main(["table9", "--seeds", "zero"]) == 2
+    assert "invalid --seeds value" in capsys.readouterr().err
+    assert main(["table9", "--seeds", "0"]) == 2
+
+
+def test_jobs_flag_produces_identical_output_to_serial(capsys):
+    argv = ["table9", "--duration", "30", "--warmup", "5",
+            "--seeds", "0,1", "--digest"]
+    main(argv + ["--jobs", "1"])
+    serial = capsys.readouterr().out
+    main(argv + ["--jobs", "2"])
+    parallel = capsys.readouterr().out
+
+    def stable(text):  # drop the wall-clock summary line
+        return [line for line in text.splitlines() if "wall" not in line]
+
+    assert stable(serial) == stable(parallel)
+    assert "jobs=2" in parallel
+
+
+def test_cache_dir_flag_reuses_results(tmp_path, capsys):
+    argv = ["table9", "--duration", "30", "--warmup", "5",
+            "--cache-dir", str(tmp_path)]
+    main(argv)
+    first = capsys.readouterr().out
+    assert "cache: 0 hits / 1 misses" in first
+    main(argv)
+    second = capsys.readouterr().out
+    assert "cache: 1 hits / 0 misses" in second
+    assert "1 cached" in second

@@ -108,6 +108,32 @@ def test_init_modules_exempt_from_unused_import():
     assert codes("from os import sep\n", path="pkg/__init__.py") == []
 
 
+# ------------------------------------------------------------------ REPRO106
+
+
+def test_private_audible_access_flagged_outside_phy():
+    src = "def defer(self):\n    return self.medium._audible(a, b)\n"
+    assert "REPRO106" in codes(src, path="src/repro/mac/macaw.py")
+
+
+def test_private_audible_allowed_inside_phy():
+    src = "def transmit(self):\n    return self._audible(a, b)\n"
+    assert codes(src, path="src/repro/phy/grid_medium.py") == []
+
+
+def test_public_audible_accessor_not_flagged():
+    src = "def defer(self):\n    return self.medium.audible(a, b)\n"
+    assert codes(src, path="src/repro/mac/macaw.py") == []
+
+
+def test_private_audible_pragma_waivable():
+    src = (
+        "def probe(self):\n"
+        "    return m._audible(a, b)  # repro-lint: allow=REPRO106\n"
+    )
+    assert codes(src, path="src/repro/mac/macaw.py") == []
+
+
 # ---------------------------------------------------------------- whole tree
 
 

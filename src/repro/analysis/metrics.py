@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.net.sink import FlowRecorder
@@ -62,18 +63,31 @@ def throughput_timeseries(
     bin_s: float = 10.0,
 ) -> List[Tuple[float, float]]:
     """(bin start, pps) series — used to watch dynamics like Figure 9's
-    power-off or Figure 11's mid-run arrival."""
+    power-off or Figure 11's mid-run arrival.
+
+    Bin edges are computed from an integer index (no float accumulation
+    drift over long runs).  Every bin is ``[lo, hi)`` except the last,
+    which is ``[lo, end]`` *inclusive* and normalized by its actual
+    (possibly partial) width: ``Simulator.run(until)`` fires delivery
+    events at exactly ``until``, so packets landing on the horizon belong
+    to the final bin rather than silently vanishing.  A stream with no
+    deliveries yields an all-zero series covering the window.
+    """
     if bin_s <= 0:
         raise ValueError("bin width must be positive")
     if end <= start:
         raise ValueError("need end > start")
+    flow = recorder.flow(stream)
+    # ceil((end-start)/bin_s), with a tolerance so an exact multiple does
+    # not grow a zero-width trailing bin from float round-off.
+    n_bins = max(1, math.ceil((end - start) / bin_s - 1e-9))
     series: List[Tuple[float, float]] = []
-    t = start
-    while t < end:
-        hi = min(t + bin_s, end)
-        count = recorder.flow(stream).count_between(t, hi)
-        series.append((t, count / (hi - t)))
-        t = hi
+    for i in range(n_bins):
+        lo = start + i * bin_s
+        hi = min(start + (i + 1) * bin_s, end)
+        last = i == n_bins - 1
+        count = flow.count_between(lo, hi, include_end=last)
+        series.append((lo, count / (hi - lo)))
     return series
 
 

@@ -8,6 +8,7 @@ Usage::
     macaw-sim all --duration 200
     macaw-sim all --seeds 0,1,2,3 --jobs 4
     macaw-sim table9 --seeds 8 --jobs 4 --cache --digest
+    macaw-sim table2 --metrics --seeds 3 --metrics-out runs/
     macaw-sim verify-trace table5
     macaw-sim verify-trace all
 
@@ -18,6 +19,11 @@ experiment × seed grid out over N worker processes via
 ``--cache`` memoizes finished cells on disk (keyed by experiment, seed,
 bounds, runtime config and a source-tree content hash), and ``--digest``
 prints each cell's combined trace digest — the determinism fingerprint.
+
+``--metrics`` instruments every run with the :mod:`repro.obs` probe
+catalogue (sampled at ``--metrics-interval`` simulated seconds) without
+perturbing determinism; ``--metrics-out DIR`` writes one JSONL file per
+cell, ready for ``python -m repro.obs.aggregate`` to band across seeds.
 
 ``verify-trace`` runs experiments with the protocol conformance sanitizer
 enabled: every station's trace is replayed through the statechart and
@@ -72,6 +78,25 @@ def _add_run_options(parser: argparse.ArgumentParser, seeds: bool = True) -> Non
     )
 
 
+def _parse_metrics_interval(spec: str) -> float:
+    """Sampling interval from a ``--metrics-interval`` value.
+
+    Raises ValueError (reported as exit 2, like ``--seeds``) on anything
+    that is not a positive number.
+    """
+    try:
+        interval = float(spec)
+    except ValueError:
+        raise ValueError(
+            f"--metrics-interval must be a positive number of seconds, got {spec!r}"
+        ) from None
+    if interval <= 0 or interval != interval or interval == float("inf"):
+        raise ValueError(
+            f"--metrics-interval must be a positive number of seconds, got {spec!r}"
+        )
+    return interval
+
+
 def _add_runner_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
@@ -88,6 +113,22 @@ def _add_runner_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="cache directory (implies --cache)",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="instrument runs with the repro.obs probe catalogue "
+        "(per-station backoff/queue/dwell, channel busy fraction, "
+        "per-stream load); determinism-neutral",
+    )
+    parser.add_argument(
+        "--metrics-interval", default="1.0", metavar="SECONDS",
+        help="sampling cadence in simulated seconds (default 1.0)",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="DIR",
+        help="write one metrics JSONL file per cell into DIR "
+        "(implies --metrics; aggregate sweeps with "
+        "'python -m repro.obs.aggregate DIR/*.jsonl')",
     )
 
 
@@ -153,6 +194,40 @@ def _cmd_verify_trace(argv: List[str]) -> int:
     return 0 if clean else 1
 
 
+def _report_metrics(outcomes: list, out_dir: Optional[str],
+                    interval: float) -> None:
+    """Write (or summarize) the metrics series a sweep shipped back."""
+    series_total = sum(
+        len(dump.get("series", [])) for o in outcomes for dump in o.metrics
+    )
+    if out_dir is None:
+        print(f"metrics: {series_total} series collected at {interval:g}s cadence "
+              "(pass --metrics-out DIR to save JSONL)")
+        return
+    from pathlib import Path
+
+    from repro.obs.export import write_jsonl
+
+    directory = Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for outcome in outcomes:
+        if not outcome.metrics:
+            continue
+        path = directory / (
+            f"{outcome.cell.exp_id}_seed{outcome.cell.seed}.metrics.jsonl"
+        )
+        write_jsonl(path, outcome.metrics, meta={
+            "exp": outcome.cell.exp_id,
+            "seed": outcome.cell.seed,
+            "duration": outcome.cell.duration,
+            "interval": interval,
+        })
+        written.append(path.name)
+    print(f"metrics: {series_total} series -> {directory}/ "
+          f"({len(written)} files)")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     raw = list(sys.argv[1:] if argv is None else argv)
     if raw and raw[0] == "verify-trace":
@@ -181,6 +256,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.jobs < 1:
         print("macaw-sim: --jobs must be >= 1", file=sys.stderr)
         return 2
+    try:
+        metrics_interval = _parse_metrics_interval(args.metrics_interval)
+    except ValueError as exc:
+        print(f"macaw-sim: {exc}", file=sys.stderr)
+        return 2
+    metrics_on = args.metrics or args.metrics_out is not None
 
     from repro.runner import ResultCache, expand_cells, run_cells
 
@@ -196,8 +277,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         duration=args.duration, warmup=args.warmup,
     )
     outcomes = run_cells(cells, jobs=args.jobs, cache=cache,
-                         collect_digests=args.digest)
+                         collect_digests=args.digest,
+                         metrics_interval=metrics_interval if metrics_on else None)
     elapsed = time.perf_counter() - started  # repro-lint: allow=REPRO102
+
+    if metrics_on:
+        _report_metrics(outcomes, args.metrics_out, metrics_interval)
 
     grouped: Dict[str, list] = {}
     for outcome in outcomes:

@@ -56,6 +56,8 @@ from repro.sim.timers import Timer
 class MacawMac(BaseMac):
     """A station running the (configurable) MACAW protocol."""
 
+    protocol_name = "macaw"
+
     def __init__(
         self,
         sim: Simulator,
@@ -117,6 +119,15 @@ class MacawMac(BaseMac):
 
     def queue_len(self) -> int:
         return len(self.queue)
+
+    # -------------------------------------------------------- probe surface
+    def backoff_value(self) -> Optional[float]:
+        """Current local backoff counter F(station) — the Table 2 signal."""
+        return self.backoff.my_backoff
+
+    def current_retries(self) -> int:
+        entry = self._current
+        return entry.retries if entry is not None else 0
 
     def _on_power_change(self, powered: bool) -> None:
         self._state_timer.stop()
@@ -764,6 +775,9 @@ class MacawMac(BaseMac):
                 trace.record(
                     self.sim.now, "state", self.name, frm=self.state.value, to=state.value
                 )
+            probe = self.probe
+            if probe is not None:
+                probe.note_state(self.state.value, state.value, self.sim.now)
             self.state = state
         if state is not MacState.CONTEND:
             self._contend_timer.stop()

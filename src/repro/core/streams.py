@@ -151,7 +151,7 @@ class StreamQueue:
         depths: Dict[str, int] = {}
         for queue in self._queues.values():
             for entry in queue:
-                depths[entry.dst] = depths.get(entry.dst, 0) + 1
+                depths[entry.dst] = depths.get(entry.dst, 0) + 1  # repro-lint: allow=REPRO107 (one-shot diagnostic)
         return depths
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

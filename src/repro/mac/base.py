@@ -68,10 +68,12 @@ class MacStats:
     silent_losses: int = 0
 
     def count_sent(self, kind: FrameType) -> None:
-        self.sent[kind] = self.sent.get(kind, 0) + 1
+        # Keyed by FrameType, read by tests/tables — predates repro.obs and
+        # is the model's own bookkeeping, not ad-hoc telemetry.
+        self.sent[kind] = self.sent.get(kind, 0) + 1  # repro-lint: allow=REPRO107
 
     def count_received(self, kind: FrameType) -> None:
-        self.received[kind] = self.received.get(kind, 0) + 1
+        self.received[kind] = self.received.get(kind, 0) + 1  # repro-lint: allow=REPRO107
 
     def sent_of(self, kind: FrameType) -> int:
         return self.sent.get(kind, 0)
@@ -92,7 +94,17 @@ class BaseMac(ReceiverPort):
     * ``on_deliver(payload, src)`` — a network packet arrived for us;
     * ``on_drop(payload, dst)`` — the MAC gave up on a queued packet;
     * ``on_sent(payload, dst)`` — an exchange completed as sender.
+
+    Observability (:mod:`repro.obs`) attaches a per-station probe to
+    :attr:`probe`; protocols with a state machine call
+    ``probe.note_state(old, new, now)`` on transitions so per-state dwell
+    time can be accounted.  The probe surface is read-only — gauges read
+    :meth:`queue_len`, :meth:`backoff_value`, :meth:`current_retries` and
+    :attr:`stats` at sample time.
     """
+
+    #: Probe label for this MAC flavour (subclasses override).
+    protocol_name = "mac"
 
     def __init__(
         self,
@@ -112,6 +124,9 @@ class BaseMac(ReceiverPort):
         self.on_deliver: Optional[Callable[[Any, str], None]] = None
         self.on_drop: Optional[Callable[[Any, str], None]] = None
         self.on_sent: Optional[Callable[[Any, str], None]] = None
+        #: Per-station observability probe; None when metrics are off, so
+        #: hot paths pay a single ``is not None`` test.
+        self.probe: Optional[Any] = None
         medium.attach(self)
 
     # ------------------------------------------------------------ randomness
@@ -194,6 +209,15 @@ class BaseMac(ReceiverPort):
 
     def queue_len(self) -> int:
         """Packets currently queued (subclasses override)."""
+        return 0
+
+    # -------------------------------------------------------- probe surface
+    def backoff_value(self) -> Optional[float]:
+        """Current backoff counter, or None for protocols without one."""
+        return None
+
+    def current_retries(self) -> int:
+        """Retry count of the packet at the head of the queue, if any."""
         return 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

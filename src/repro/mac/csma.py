@@ -55,6 +55,8 @@ class CsmaConfig:
 class CsmaMac(BaseMac):
     """A station running CSMA with BEB and optional link ACKs."""
 
+    protocol_name = "csma"
+
     def __init__(
         self,
         sim: Simulator,
@@ -94,6 +96,15 @@ class CsmaMac(BaseMac):
 
     def queue_len(self) -> int:
         return len(self.queue)
+
+    # -------------------------------------------------------- probe surface
+    def backoff_value(self) -> Optional[float]:
+        """Current BEB window ceiling (slots)."""
+        return self.bo
+
+    def current_retries(self) -> int:
+        entry = self._current
+        return entry.retries if entry is not None else 0
 
     def _idle(self) -> bool:
         return (

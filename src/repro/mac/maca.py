@@ -33,7 +33,15 @@ __all__ = ["MacaMac", "maca_config"]
 
 
 class MacaMac(MacawMac):
-    """A station running plain MACA (RTS-CTS-DATA, BEB, single queue)."""
+    """A station running plain MACA (RTS-CTS-DATA, BEB, single queue).
+
+    Observability: inherits the full :class:`MacawMac` probe surface
+    (``backoff_value`` is the single BEB counter, per-state dwell covers
+    Appendix A's five-state subset); ``protocol_name`` tags the exported
+    series so MACA and MACAW sweeps aggregate separately.
+    """
+
+    protocol_name = "maca"
 
     def __init__(
         self,

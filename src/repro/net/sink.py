@@ -41,10 +41,18 @@ class FlowRecord:
         hi = bisect.bisect_left(self.times, end)
         return [d for d in self.delays[lo:hi] if d == d]  # drop NaN
 
-    def count_between(self, start: float, end: float) -> int:
-        """Deliveries with start <= time < end (times are appended in order)."""
+    def count_between(self, start: float, end: float, *,
+                      include_end: bool = False) -> int:
+        """Deliveries with start <= time < end (times are appended in order).
+
+        ``include_end=True`` makes the upper bound inclusive — the final
+        bin of a time series needs it because ``Simulator.run(until)``
+        fires delivery events at exactly ``until`` (the horizon is
+        inclusive), so packets landing on the boundary belong to the run.
+        """
         lo = bisect.bisect_left(self.times, start)
-        hi = bisect.bisect_left(self.times, end)
+        hi = (bisect.bisect_right if include_end else bisect.bisect_left)(
+            self.times, end)
         return hi - lo
 
     def bytes_between(self, start: float, end: float) -> int:
@@ -58,6 +66,10 @@ class FlowRecorder:
 
     def __init__(self) -> None:
         self._flows: Dict[str, FlowRecord] = {}
+        #: Optional observability tap (:mod:`repro.obs`): called as
+        #: ``on_record(stream, time, size_bytes, delay)`` for every
+        #: delivery.  Passive — it must not mutate simulation state.
+        self.on_record: Optional[Callable[[str, float, int, float], None]] = None
 
     def record(self, stream: str, time: float, size_bytes: int,
                created: Optional[float] = None) -> None:
@@ -67,6 +79,8 @@ class FlowRecorder:
             self._flows[stream] = flow
         delay = (time - created) if created is not None else float("nan")
         flow.add(time, size_bytes, delay)
+        if self.on_record is not None:
+            self.on_record(stream, time, size_bytes, delay)
 
     def flow(self, stream: str) -> FlowRecord:
         """The record for ``stream`` (empty if nothing delivered yet)."""

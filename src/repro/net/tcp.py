@@ -123,6 +123,17 @@ class TcpStream:
             sim, self._on_app_data, rate_pps, start=start, stop=stop, name=stream_id
         )
 
+    def counters(self) -> dict:
+        """Probe surface for :mod:`repro.obs`: cumulative transport counters."""
+        return {
+            "offered": self.app_generated,
+            "rejected": self.app_overflow,
+            "rto_events": self.timeouts,
+            "retransmissions": self.retransmissions,
+            "delivered_in_order": self.delivered_in_order,
+            "acks_sent": self.acks_sent,
+        }
+
     # ============================================================= sender
     def _on_app_data(self, index: int) -> None:
         if self.app_generated - self.snd_una >= self.config.send_buffer:

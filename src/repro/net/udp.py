@@ -79,5 +79,9 @@ class UdpStream:
         """Stop generating new packets (queued ones still drain)."""
         self.source.halt()
 
+    def counters(self) -> dict:
+        """Probe surface for :mod:`repro.obs`: cumulative load counters."""
+        return {"offered": self.offered, "rejected": self.rejected}
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"UdpStream({self.stream_id}, offered={self.offered})"

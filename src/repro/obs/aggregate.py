@@ -1,0 +1,118 @@
+"""Aggregate per-seed metrics series across runner sweeps.
+
+A seed sweep produces one JSONL file per cell (``table2_seed0.metrics
+.jsonl``, ``table2_seed1...``).  :func:`bands` merges the files'
+matching series — same run index, name and labels — into pointwise
+mean/min/max envelopes, aligned on sample time:
+
+    python -m repro.obs.aggregate runs/table2_seed*.metrics.jsonl \
+        -o runs/table2_bands.json
+
+Series are aligned by the *sample times themselves*, not by array
+index: lazily-created instruments (per-state dwell counters) start
+sampling mid-run, and ring overflow can trim the head of a long series,
+so matching seeds may cover different time windows.  ``n`` reports how
+many seeds contributed to each point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.export import load_jsonl
+
+__all__ = ["aggregate_files", "bands", "main"]
+
+SeriesKey = Tuple[int, str, Tuple[Tuple[str, str], ...]]
+
+
+def _series_key(record: dict) -> SeriesKey:
+    labels = tuple(sorted((str(k), str(v))
+                          for k, v in record.get("labels", {}).items()))
+    return (int(record.get("run", 0)), str(record["name"]), labels)
+
+
+def bands(series_sets: Sequence[Sequence[dict]]) -> List[dict]:
+    """Merge matching series from N seeds into mean/min/max bands.
+
+    ``series_sets`` holds one sequence of series records per seed.
+    Returns one band record per distinct ``(run, name, labels)`` key, in
+    first-seen order, with parallel ``t``/``mean``/``min``/``max``/``n``
+    arrays over the union of sample times.
+    """
+    grouped: Dict[SeriesKey, Dict[float, List[float]]] = {}
+    order: List[SeriesKey] = []
+    exemplar: Dict[SeriesKey, dict] = {}
+    for series_set in series_sets:
+        for record in series_set:
+            key = _series_key(record)
+            points = grouped.get(key)
+            if points is None:
+                points = grouped[key] = {}
+                order.append(key)
+                exemplar[key] = record
+            for t, v in zip(record["t"], record["v"]):
+                points.setdefault(float(t), []).append(float(v))
+
+    merged: List[dict] = []
+    for key in order:
+        points = grouped[key]
+        times = sorted(points)
+        values = [points[t] for t in times]
+        record = exemplar[key]
+        merged.append({
+            "run": key[0],
+            "name": key[1],
+            "labels": dict(key[2]),
+            "itype": record.get("itype", record.get("kind", "gauge")),
+            "t": times,
+            "mean": [sum(vs) / len(vs) for vs in values],
+            "min": [min(vs) for vs in values],
+            "max": [max(vs) for vs in values],
+            "n": [len(vs) for vs in values],
+            "seeds": len(series_sets),
+        })
+    return merged
+
+
+def aggregate_files(paths: Sequence[str]) -> dict:
+    """Load metrics JSONL files and band their series (one file = one seed)."""
+    loaded = [load_jsonl(path) for path in paths]
+    return {
+        "sources": [str(p) for p in paths],
+        "seeds": len(paths),
+        "bands": bands([entry["series"] for entry in loaded]),
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.aggregate",
+        description="Merge per-seed metrics JSONL files into mean/min/max bands.",
+    )
+    parser.add_argument("files", nargs="+", help="metrics .jsonl files, one per seed")
+    parser.add_argument("-o", "--out", default=None, metavar="OUT.json",
+                        help="write the bands as JSON here (default: stdout)")
+    args = parser.parse_args(argv)
+
+    for path in args.files:
+        if not Path(path).is_file():
+            print(f"aggregate: no such file: {path}", file=sys.stderr)
+            return 2
+    result = aggregate_files(args.files)
+    rendered = json.dumps(result, sort_keys=True, indent=None, separators=(",", ":"))
+    if args.out:
+        Path(args.out).write_text(rendered + "\n")
+        print(f"aggregate: {len(result['bands'])} bands from "
+              f"{result['seeds']} seeds -> {args.out}")
+    else:
+        print(rendered)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,106 @@
+"""Exporters: metrics dumps to JSONL and CSV, and back.
+
+One JSONL file holds one cell's metrics (one experiment × seed): a
+``meta`` line followed by one line per series and per histogram, each
+tagged with the index of the scenario run it came from (experiments may
+run several scenario variants per cell).  JSONL keeps every series
+self-describing and appendable; CSV flattens the samples into long-form
+``run,name,labels,t,v`` rows for spreadsheet/pandas consumption.
+
+All writes are deterministic: dict keys are emitted sorted and series
+order follows registry insertion order, so identical runs produce
+byte-identical files.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+__all__ = ["load_jsonl", "write_csv", "write_jsonl"]
+
+PathLike = Union[str, Path]
+
+
+def _dumps(obj: dict) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def write_jsonl(path: PathLike, dumps: Sequence[dict],
+                meta: Optional[dict] = None) -> int:
+    """Write scenario metrics ``dumps`` (see ``ScenarioMetrics.dump``) to
+    ``path`` as JSONL.  Returns the number of data lines written."""
+    lines: List[str] = []
+    header = {"kind": "meta", "schema": 1, "runs": len(dumps)}
+    if meta:
+        header.update(meta)
+    lines.append(_dumps(header))
+    count = 0
+    for run, dump in enumerate(dumps):
+        run_info = {
+            "run": run,
+            "interval": dump.get("interval"),
+            "t_end": dump.get("t_end"),
+            "stations": dump.get("stations", {}),
+        }
+        for series in dump.get("series", []):
+            record = {"kind": "series", **run_info, **series}
+            record["kind"] = "series"  # series dicts carry their own "kind"
+            record["itype"] = series["kind"]
+            lines.append(_dumps(record))
+            count += 1
+        for hist in dump.get("histograms", []):
+            record = {"kind": "hist", **run_info, **hist}
+            record["kind"] = "hist"
+            record["itype"] = hist["kind"]
+            lines.append(_dumps(record))
+            count += 1
+    Path(path).write_text("\n".join(lines) + "\n")
+    return count
+
+
+def load_jsonl(path: PathLike) -> Dict[str, object]:
+    """Parse a metrics JSONL file into ``{"meta": ..., "series": [...],
+    "histograms": [...]}`` (inverse of :func:`write_jsonl`)."""
+    meta: dict = {}
+    series: List[dict] = []
+    histograms: List[dict] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("kind")
+            if kind == "meta":
+                meta = record
+            elif kind == "series":
+                series.append(record)
+            elif kind == "hist":
+                histograms.append(record)
+            else:
+                raise ValueError(f"{path}: unknown record kind {kind!r}")
+    return {"meta": meta, "series": series, "histograms": histograms}
+
+
+def write_csv(path: PathLike, dumps: Sequence[dict]) -> int:
+    """Flatten time series into long-form CSV rows; returns the row count."""
+    rows = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["run", "name", "labels", "itype", "t", "v"])
+        for run, dump in enumerate(dumps):
+            for series in dump.get("series", []):
+                labels = _dumps(series.get("labels", {}))
+                for t, v in zip(series["t"], series["v"]):
+                    writer.writerow([run, series["name"], labels,
+                                     series["kind"], t, v])
+                    rows += 1
+    return rows
+
+
+def iter_series(loaded: Dict[str, object]) -> Iterable[dict]:
+    """The series records of a :func:`load_jsonl` result (convenience)."""
+    return list(loaded.get("series", []))  # type: ignore[arg-type]

@@ -1,0 +1,201 @@
+"""Probe catalogue: instrument a built scenario for live metrics.
+
+:func:`instrument_scenario` walks a :class:`~repro.topo.builder.Scenario`
+and publishes the layers' state into a fresh
+:class:`~repro.obs.registry.MetricsRegistry`, then attaches a
+:class:`~repro.obs.sampler.Sampler` to the scenario's kernel.  Everything
+registered here is read-only with respect to the simulation: gauges and
+bound counters read existing model attributes at sample time; the only
+write paths into the model are two passive hooks (``BaseMac.probe`` for
+state-dwell accounting and ``FlowRecorder.on_record`` for delivery
+counters/delay histograms), neither of which schedules events, writes
+trace records, or draws randomness.
+
+Exported series (``{label}`` dimensions in braces):
+
+========================  =======  ==================================================
+``mac.backoff{station}``  gauge    current backoff counter (MACAW F(station), CSMA BEB window)
+``mac.queue{station}``    gauge    MAC queue depth in packets
+``mac.retries{station}``  gauge    retry count of the in-flight packet
+``mac.dwell_s{station,state}``  counter  cumulative seconds spent in each MAC state
+``mac.cts_timeouts{station}``   counter  RTS attempts that drew no CTS/ACK
+``mac.drops{station}``    counter  packets abandoned after max retries
+``chan.busy_frac``        gauge    fraction of elapsed time with >= 1 tx in flight
+``chan.active_tx``        gauge    concurrent transmissions right now
+``chan.clean``            counter  clean frame deliveries (capture survived)
+``chan.corrupt``          counter  corrupted deliveries (collision/capture/noise)
+``net.offered{stream}``   counter  packets the application handed down
+``net.rejected{stream}``  counter  packets refused at enqueue (queue full)
+``net.delivered{stream}`` counter  packets delivered to the application
+``net.rto_events{stream}``      counter  TCP retransmission timeouts
+``net.retransmissions{stream}`` counter  TCP segments retransmitted
+``net.delay_s{stream}``   histogram  end-to-end packet delay (dumped at end)
+========================  =======  ==================================================
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from repro.obs.registry import Counter, Histogram, MetricsRegistry
+from repro.obs.runtime import MetricsConfig
+from repro.obs.sampler import Sampler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mac.base import BaseMac
+    from repro.topo.builder import Scenario
+
+__all__ = ["MacProbe", "ScenarioMetrics", "instrument_scenario"]
+
+#: End-to-end delay buckets (seconds), spanning one data airtime (~16 ms at
+#: 256 kbps) out to deep-queue pathologies.
+DELAY_BUCKETS: Tuple[float, ...] = (
+    0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0,
+)
+
+
+class MacProbe:
+    """Per-station dwell-time accounting, fed by ``_set_state`` hooks.
+
+    Counters are created lazily on the first exit from a state, so a
+    MACA run exports only Appendix A's five states, never Appendix B's
+    ten.  The dwell of the *current* state is committed on the next
+    transition; a station parked in one state to the end of the run
+    keeps that tail out of the counter (time series consumers diff
+    cumulative values, so only the final partial interval is affected).
+    """
+
+    __slots__ = ("_registry", "_station", "_entered", "_dwell")
+
+    def __init__(self, registry: MetricsRegistry, station: str, now: float) -> None:
+        self._registry = registry
+        self._station = station
+        self._entered = now
+        self._dwell: Dict[str, Counter] = {}
+
+    def note_state(self, old: str, new: str, now: float) -> None:
+        counter = self._dwell.get(old)
+        if counter is None:
+            counter = self._registry.counter(
+                "mac.dwell_s", station=self._station, state=old
+            )
+            self._dwell[old] = counter
+        counter.add(now - self._entered)
+        self._entered = now
+
+
+class ScenarioMetrics:
+    """Handle tying one scenario run to its registry and sampler."""
+
+    def __init__(self, scenario: "Scenario", config: MetricsConfig) -> None:
+        self.config = config
+        self.registry = MetricsRegistry()
+        self.stations: Dict[str, str] = {}
+        self._scenario = scenario
+        self._wire(scenario)
+        self.sampler = Sampler(
+            scenario.sim, self.registry,
+            interval=config.interval, capacity=config.capacity,
+        )
+
+    # -------------------------------------------------------------- wiring
+    def _wire(self, scenario: "Scenario") -> None:
+        registry = self.registry
+        sim = scenario.sim
+        for name, station in scenario.stations.items():
+            self._wire_mac(name, station.mac)
+        medium = scenario.medium
+        registry.gauge("chan.busy_frac").bind(
+            lambda: medium.busy_seconds() / sim.now if sim.now > 0 else 0.0
+        )
+        registry.gauge("chan.active_tx").bind(medium.active_count)
+        registry.counter("chan.clean").bind(lambda: medium.clean_deliveries)
+        registry.counter("chan.corrupt").bind(lambda: medium.corrupt_deliveries)
+        for stream_id, stream in scenario.streams.items():
+            counters = getattr(stream, "counters", None)
+            if counters is None:  # pragma: no cover - every stream type has one
+                continue
+            for key in counters():
+                registry.counter(f"net.{key}", stream=stream_id).bind(
+                    lambda s=stream, k=key: s.counters()[k]
+                )
+        self._wire_recorder(scenario)
+
+    def _wire_mac(self, name: str, mac: "BaseMac") -> None:
+        registry = self.registry
+        self.stations[name] = mac.protocol_name
+        registry.gauge("mac.backoff", station=name).bind(mac.backoff_value)
+        registry.gauge("mac.queue", station=name).bind(mac.queue_len)
+        registry.gauge("mac.retries", station=name).bind(mac.current_retries)
+        stats = mac.stats
+        registry.counter("mac.cts_timeouts", station=name).bind(
+            lambda s=stats: s.cts_timeouts
+        )
+        registry.counter("mac.drops", station=name).bind(lambda s=stats: s.drops)
+        mac.probe = MacProbe(registry, name, mac.sim.now)
+
+    def _wire_recorder(self, scenario: "Scenario") -> None:
+        """Tap FlowRecorder for true delivery counters + delay histograms."""
+        registry = self.registry
+        delivered: Dict[str, Counter] = {}
+        delays: Dict[str, Histogram] = {}
+
+        def on_record(stream: str, time: float, size: int, delay: float) -> None:
+            counter = delivered.get(stream)
+            if counter is None:
+                counter = delivered[stream] = registry.counter(
+                    "net.delivered", stream=stream
+                )
+                delays[stream] = registry.histogram(
+                    "net.delay_s", bounds=DELAY_BUCKETS, stream=stream
+                )
+            counter.inc()
+            delays[stream].observe(delay)
+
+        scenario.recorder.on_record = on_record
+
+    # ------------------------------------------------------------- reading
+    def series(self, name: str, **labels: str) -> Tuple[list, list]:
+        return self.sampler.series(name, **labels)
+
+    def dump(self) -> dict:
+        """End-of-run snapshot as a plain, picklable, JSON-able dict."""
+        buffers = self.sampler.all_series()
+        series = []
+        for instrument in self.registry.scalars():
+            buf = buffers.get(instrument.key)
+            if buf is None:
+                continue
+            t, v = buf.points()
+            series.append({
+                "name": instrument.name,
+                "labels": instrument.label_dict(),
+                "kind": instrument.kind,
+                "t": t,
+                "v": v,
+                "dropped": buf.dropped,
+            })
+        histograms = [{
+            "name": h.name,
+            "labels": h.label_dict(),
+            "kind": h.kind,
+            "bounds": list(h.bounds),
+            "counts": list(h.counts),
+            "sum": h.sum,
+            "count": h.count,
+        } for h in self.registry.histograms()]
+        return {
+            "schema": 1,
+            "interval": self.config.interval,
+            "t_end": self._scenario.sim.now,
+            "samples": self.sampler.samples_taken,
+            "stations": dict(self.stations),
+            "series": series,
+            "histograms": histograms,
+        }
+
+
+def instrument_scenario(scenario: "Scenario",
+                        config: Optional[MetricsConfig] = None) -> ScenarioMetrics:
+    """Attach the full probe catalogue + sampler to a built scenario."""
+    return ScenarioMetrics(scenario, config if config is not None else MetricsConfig())

@@ -1,0 +1,208 @@
+"""Typed metric registry: counters, gauges, fixed-bucket histograms.
+
+The registry is the namespace a scenario's probes publish into.  It is
+deliberately small and Prometheus-shaped:
+
+* :class:`Counter` — a cumulative, monotonically non-decreasing value.
+  Either owned (incremented with :meth:`Counter.add`) or *bound* to an
+  existing model counter (``registry.counter(...).bind(lambda: mac.stats
+  .data_sent)``) so instrumentation can read the model's own bookkeeping
+  without duplicating it.
+* :class:`Gauge` — an instantaneous value, almost always bound to a
+  read-callback (queue depth, current backoff, channel busy fraction).
+* :class:`Histogram` — fixed upper-bound buckets plus sum/count.  Fed by
+  :meth:`Histogram.observe`; dumped once at end of run, never sampled
+  into a time series.
+
+Instruments are identified by ``(name, labels)`` where ``labels`` is a
+frozen, sorted tuple of ``(key, value)`` string pairs — the registry
+hands back the same instrument object for the same identity, and
+iteration order is insertion order, so a fixed scenario always exports
+series in the same order (determinism matters even for output files).
+
+Everything here is passive with respect to the simulation: no events,
+no trace records, no RNG.  Reading a bound gauge merely calls back into
+model state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+LabelItems = Tuple[Tuple[str, str], ...]
+InstrumentKey = Tuple[str, LabelItems]
+
+#: Default delay-style buckets (seconds): sub-slot to tens of seconds.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0,
+)
+
+
+def _label_items(labels: Dict[str, str]) -> LabelItems:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Instrument:
+    """Common identity + rendering for every instrument type."""
+
+    kind: str = "?"
+
+    def __init__(self, name: str, labels: LabelItems) -> None:
+        self.name = name
+        self.labels = labels
+
+    @property
+    def key(self) -> InstrumentKey:
+        return (self.name, self.labels)
+
+    def label_dict(self) -> Dict[str, str]:
+        return dict(self.labels)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        pairs = ",".join(f"{k}={v}" for k, v in self.labels)
+        return f"{type(self).__name__}({self.name}{{{pairs}}})"
+
+
+class Counter(_Instrument):
+    """Cumulative value: owned (``add``) or bound to a model callback."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelItems) -> None:
+        super().__init__(name, labels)
+        self._value = 0.0
+        self._read: Optional[Callable[[], float]] = None
+
+    def add(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (add {amount})")
+        self._value += amount
+
+    def inc(self) -> None:
+        self._value += 1.0
+
+    def bind(self, read: Callable[[], float]) -> "Counter":
+        """Source the value from ``read()`` instead of internal state."""
+        self._read = read
+        return self
+
+    def read(self) -> float:
+        if self._read is not None:
+            return float(self._read())
+        return self._value
+
+
+class Gauge(_Instrument):
+    """Instantaneous value: bound callback, or explicitly ``set``."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelItems) -> None:
+        super().__init__(name, labels)
+        self._value = 0.0
+        self._read: Optional[Callable[[], float]] = None
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def bind(self, read: Callable[[], float]) -> "Gauge":
+        self._read = read
+        return self
+
+    def read(self) -> float:
+        if self._read is not None:
+            value = self._read()
+            return 0.0 if value is None else float(value)
+        return self._value
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket histogram with cumulative-style bucket counts.
+
+    ``bounds`` are inclusive upper edges; an implicit +inf bucket catches
+    the overflow.  ``counts[i]`` is the number of observations ``<=
+    bounds[i]`` that did not fit an earlier bucket (i.e. per-bucket, not
+    cumulative — exporters can integrate if they want Prometheus ``le``
+    semantics).
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: LabelItems,
+                 bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        super().__init__(name, labels)
+        ordered = tuple(float(b) for b in bounds)
+        if not ordered or any(b2 <= b1 for b1, b2 in zip(ordered, ordered[1:])):
+            raise ValueError(f"histogram bounds must be strictly increasing: {bounds}")
+        self.bounds = ordered
+        self.counts = [0] * (len(ordered) + 1)  # +1: the +inf overflow bucket
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        if value != value:  # NaN (e.g. delay of an unmatched packet): skip
+            return
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+
+class MetricsRegistry:
+    """Insertion-ordered instrument namespace for one scenario run."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[InstrumentKey, _Instrument] = {}
+
+    # ------------------------------------------------------------- creation
+    def _get_or_create(self, cls: type, name: str, labels: Dict[str, str],
+                       **kwargs: object) -> _Instrument:
+        key: InstrumentKey = (name, _label_items(labels))
+        existing = self._instruments.get(key)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise TypeError(
+                    f"metric {name}{dict(key[1])} already registered as "
+                    f"{existing.kind}, requested {cls.__name__.lower()}"
+                )
+            return existing
+        instrument = cls(name, key[1], **kwargs)
+        self._instruments[key] = instrument
+        return instrument
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        instrument = self._get_or_create(Counter, name, labels)
+        assert isinstance(instrument, Counter)
+        return instrument
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        instrument = self._get_or_create(Gauge, name, labels)
+        assert isinstance(instrument, Gauge)
+        return instrument
+
+    def histogram(self, name: str,
+                  bounds: Sequence[float] = DEFAULT_BUCKETS,
+                  **labels: str) -> Histogram:
+        instrument = self._get_or_create(Histogram, name, labels, bounds=bounds)
+        assert isinstance(instrument, Histogram)
+        return instrument
+
+    # ------------------------------------------------------------ iteration
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __iter__(self) -> Iterator[_Instrument]:
+        return iter(self._instruments.values())
+
+    def scalars(self) -> List[Union[Counter, Gauge]]:
+        """Time-sampleable instruments (counters + gauges), insertion order."""
+        return [i for i in self._instruments.values()
+                if isinstance(i, (Counter, Gauge))]
+
+    def histograms(self) -> List[Histogram]:
+        return [i for i in self._instruments.values() if isinstance(i, Histogram)]

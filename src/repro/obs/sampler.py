@@ -1,0 +1,124 @@
+"""Kernel-hooked periodic sampler with ring-buffered time series.
+
+The :class:`Sampler` attaches to a :class:`~repro.sim.kernel.Simulator`
+as its passive clock observer.  Whenever the kernel is about to advance
+the clock past one or more sample deadlines, the sampler reads every
+scalar instrument in its registry and appends ``(t, value)`` points to
+per-instrument :class:`RingSeries` buffers.
+
+Semantics worth spelling out:
+
+* Deadlines are ``base + k * interval`` computed from an integer tick
+  counter, so a 2000 s run at 0.25 s cadence accumulates no float drift.
+* A sample at deadline ``d`` reflects simulation state *immediately
+  before* time ``d`` — the observer runs before the event at ``d`` fires
+  (and before the clock pads out to the run horizon).
+* The sampler is passive: it schedules nothing, records nothing to the
+  trace, draws no randomness.  A run with a sampler attached fires the
+  same events in the same order as one without.
+* Buffers are rings: when ``capacity`` is exhausted the oldest points
+  fall off and ``dropped`` counts them, bounding memory on arbitrarily
+  long runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.obs.registry import InstrumentKey, MetricsRegistry
+from repro.sim.kernel import Simulator
+
+__all__ = ["RingSeries", "Sampler"]
+
+
+class RingSeries:
+    """Fixed-capacity ring of ``(t, value)`` samples."""
+
+    __slots__ = ("capacity", "dropped", "_t", "_v", "_start")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"ring capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.dropped = 0
+        self._t: List[float] = []
+        self._v: List[float] = []
+        self._start = 0  # index of the oldest sample once the ring is full
+
+    def append(self, t: float, value: float) -> None:
+        if len(self._t) < self.capacity:
+            self._t.append(t)
+            self._v.append(value)
+        else:
+            self._t[self._start] = t
+            self._v[self._start] = value
+            self._start = (self._start + 1) % self.capacity
+            self.dropped += 1
+
+    def __len__(self) -> int:
+        return len(self._t)
+
+    def points(self) -> Tuple[List[float], List[float]]:
+        """Samples in time order as parallel ``(times, values)`` lists."""
+        if self._start == 0:
+            return list(self._t), list(self._v)
+        return (self._t[self._start:] + self._t[:self._start],
+                self._v[self._start:] + self._v[:self._start])
+
+
+class Sampler:
+    """Periodic snapshot of a registry's scalars, driven by the kernel clock.
+
+    Attaching takes an immediate baseline sample at the current clock
+    value, then samples at every multiple of ``interval`` after it.
+    Instruments created after attach (probes register some lazily, e.g.
+    per-state dwell counters on first transition) join the series set at
+    the next deadline; their series simply start later.
+    """
+
+    def __init__(self, sim: Simulator, registry: MetricsRegistry,
+                 interval: float = 1.0, capacity: int = 4096) -> None:
+        if interval <= 0:
+            raise ValueError(f"sample interval must be > 0, got {interval}")
+        self.sim = sim
+        self.registry = registry
+        self.interval = float(interval)
+        self.capacity = int(capacity)
+        self.samples_taken = 0
+        self._base = sim.now
+        self._ticks = 0
+        self._series: Dict[InstrumentKey, RingSeries] = {}
+        sim.attach_observer(self._on_advance)
+        self._sample(sim.now)  # baseline at attach time
+
+    # ------------------------------------------------------------- observing
+    def _on_advance(self, next_time: float) -> None:
+        """Kernel observer: flush every deadline the clock is about to pass."""
+        while True:
+            deadline = self._base + (self._ticks + 1) * self.interval
+            if deadline > next_time:
+                return
+            self._ticks += 1
+            self._sample(deadline)
+
+    def _sample(self, t: float) -> None:
+        series = self._series
+        for instrument in self.registry.scalars():
+            buf = series.get(instrument.key)
+            if buf is None:
+                buf = series[instrument.key] = RingSeries(self.capacity)
+            buf.append(t, instrument.read())
+        self.samples_taken += 1
+
+    def detach(self) -> None:
+        self.sim.detach_observer(self._on_advance)
+
+    # -------------------------------------------------------------- reading
+    def series(self, name: str, **labels: str) -> Tuple[List[float], List[float]]:
+        """Time/value lists for one instrument (empty if never sampled)."""
+        key: InstrumentKey = (name, tuple(sorted(labels.items())))
+        buf = self._series.get(key)
+        return buf.points() if buf is not None else ([], [])
+
+    def all_series(self) -> Dict[InstrumentKey, RingSeries]:
+        return dict(self._series)

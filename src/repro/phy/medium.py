@@ -134,6 +134,13 @@ class Medium:
         #: Statistics: frames delivered cleanly / corrupted, per medium.
         self.clean_deliveries = 0
         self.corrupt_deliveries = 0
+        #: Busy-time accounting for the channel-utilisation probe: total
+        #: seconds with >= 1 transmission in flight, plus the start of the
+        #: current busy interval while one is open.  Maintained on the 0->1
+        #: and ->0 transitions of :attr:`_active`, so the per-frame cost is
+        #: two branch tests.
+        self._busy_time = 0.0
+        self._busy_since = 0.0
 
     # ------------------------------------------------------------- topology
     def attach(self, port: ReceiverPort) -> None:
@@ -275,6 +282,8 @@ class Medium:
         # with this one (their end event just hasn't processed yet) and
         # cannot interfere; half-duplex corruption below still applies.
         concurrent = [t for t in active if t.end > now]
+        if not active:
+            self._busy_since = now  # channel transitions idle -> busy
         active[tx] = None
         self._transmitting[sender] = tx
 
@@ -329,6 +338,8 @@ class Medium:
 
     def _finish(self, tx: Transmission) -> None:
         self._active.pop(tx, None)
+        if not self._active:
+            self._busy_time += self.sim.now - self._busy_since  # busy -> idle
         if self._transmitting.get(tx.sender) is tx:
             del self._transmitting[tx.sender]
         trace = self.sim.trace
@@ -394,6 +405,19 @@ class Medium:
     # ------------------------------------------------------------- inspection
     def active_transmissions(self) -> List[Transmission]:
         return list(self._active)
+
+    def active_count(self) -> int:
+        """Number of transmissions in flight right now (O(1))."""
+        return len(self._active)
+
+    def busy_seconds(self) -> float:
+        """Cumulative seconds the channel has carried >= 1 transmission,
+        including the currently open busy interval.  Divided by ``sim.now``
+        this is the busy fraction the channel probe exports."""
+        busy = self._busy_time
+        if self._active:
+            busy += self.sim.now - self._busy_since
+        return busy
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -8,7 +8,12 @@ committed ``benchmarks/BENCH_engine.json``:
 * ``--write`` refreshes the baseline in place (run on a quiet machine);
 * ``--check`` fails (exit 1) when any bench's events/sec falls more than
   ``tolerance`` (default 25%) below the baseline — the CI regression
-  gate.
+  gate.  The benches run with metrics off, so ``--check`` is also the
+  metrics-off overhead gate: the observability hook costs one
+  ``is not None`` branch per fired event when disabled.
+* ``--overhead`` times the six-pad cell with metrics off vs. on
+  (1 s cadence) and verifies both runs fire identical event counts —
+  the determinism contract measured, not assumed.
 
 The baseline file also keeps a frozen ``pre_pr`` section: the numbers the
 engine produced before the performance PR, kept so the speedup claim
@@ -102,6 +107,44 @@ def run_benches(repeats: int = DEFAULT_REPEATS) -> Dict[str, Dict[str, float]]:
     return results
 
 
+def measure_metrics_overhead(repeats: int = DEFAULT_REPEATS) -> Dict[str, Dict[str, float]]:
+    """Six-pad cell with metrics off vs. on (1 s cadence), best-of-repeats.
+
+    Raises RuntimeError if the two runs fire different event counts —
+    instrumentation must be invisible to the event stream.
+    """
+    from repro.topo.figures import fig3_six_pads
+
+    def run(metrics: object) -> int:
+        builder = fig3_six_pads(protocol="macaw", seed=1)
+        builder.metrics = metrics
+        return builder.build().run(100.0).sim.events_fired
+
+    results: Dict[str, Dict[str, float]] = {}
+    for name, metrics in (("metrics_off", False), ("metrics_on", 1.0)):
+        best: Optional[float] = None
+        events = 0
+        for _ in range(max(1, repeats)):
+            started = time.perf_counter()  # repro-lint: allow=REPRO102 (bench)
+            events = run(metrics)
+            wall = time.perf_counter() - started  # repro-lint: allow=REPRO102
+            if best is None or wall < best:
+                best = wall
+        assert best is not None
+        results[name] = {
+            "events": events,
+            "wall_s": round(best, 4),
+            "events_per_sec": round(events / best, 1),
+        }
+    if results["metrics_off"]["events"] != results["metrics_on"]["events"]:
+        raise RuntimeError(
+            "metrics instrumentation changed the event stream: "
+            f"{results['metrics_off']['events']:.0f} events off vs "
+            f"{results['metrics_on']['events']:.0f} on"
+        )
+    return results
+
+
 # -------------------------------------------------------------- baseline file
 
 def load_baseline(path: Path) -> Dict:
@@ -189,29 +232,47 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--check", action="store_true",
         help="fail if any bench's events/sec regresses beyond tolerance",
     )
+    mode.add_argument(
+        "--overhead", action="store_true",
+        help="time the six-pad cell with metrics off vs on and verify "
+        "identical event counts",
+    )
     args = parser.parse_args(argv)
+
+    if args.overhead:
+        try:
+            overhead = measure_metrics_overhead(repeats=args.repeats)
+        except RuntimeError as exc:
+            print(f"FAIL: {exc}", file=sys.stderr)  # repro-lint: allow=REPRO107 (bench CLI output)
+            return 1
+        print(_render(overhead))  # repro-lint: allow=REPRO107 (bench CLI output)
+        off = overhead["metrics_off"]["events_per_sec"]
+        on = overhead["metrics_on"]["events_per_sec"]
+        print(f"\nmetrics-on overhead: {(off / on - 1.0):+.1%} "  # repro-lint: allow=REPRO107 (bench CLI output)
+              f"(identical {overhead['metrics_off']['events']:,.0f} events)")
+        return 0
 
     path = args.baseline if args.baseline is not None else default_baseline_path()
     results = run_benches(repeats=args.repeats)
-    print(_render(results))
+    print(_render(results))  # repro-lint: allow=REPRO107 (bench CLI output)
 
     if args.write:
         write_baseline(path, results)
-        print(f"\nbaseline written to {path}")
+        print(f"\nbaseline written to {path}")  # repro-lint: allow=REPRO107 (bench CLI output)
         return 0
     if args.check:
         try:
             baseline = load_baseline(path)
         except OSError as exc:
-            print(f"\ncannot read baseline {path}: {exc}", file=sys.stderr)
+            print(f"\ncannot read baseline {path}: {exc}", file=sys.stderr)  # repro-lint: allow=REPRO107 (bench CLI output)
             return 2
         failures = check_against(baseline, results)
         if failures:
-            print("\nREGRESSION:", file=sys.stderr)
+            print("\nREGRESSION:", file=sys.stderr)  # repro-lint: allow=REPRO107 (bench CLI output)
             for message in failures:
-                print(f"  {message}", file=sys.stderr)
+                print(f"  {message}", file=sys.stderr)  # repro-lint: allow=REPRO107 (bench CLI output)
             return 1
-        print("\nall benches within tolerance of the committed baseline")
+        print("\nall benches within tolerance of the committed baseline")  # repro-lint: allow=REPRO107 (bench CLI output)
     return 0
 
 

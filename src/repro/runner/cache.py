@@ -57,12 +57,18 @@ def code_version() -> str:
     return _code_version_memo
 
 
-def config_hash(sanitize: bool, collect_digests: bool) -> str:
-    """Hash of the runtime knobs that alter a cell's observable result."""
-    blob = json.dumps(
-        {"sanitize": sanitize, "collect_digests": collect_digests},
-        sort_keys=True,
-    )
+def config_hash(sanitize: bool, collect_digests: bool,
+                metrics_interval: Optional[float] = None) -> str:
+    """Hash of the runtime knobs that alter a cell's observable result.
+
+    ``metrics_interval`` joins the blob only when set, so keys from
+    metric-less sweeps are unchanged across versions — but a metrics
+    sweep can never be served a cached result without its series.
+    """
+    knobs: dict = {"sanitize": sanitize, "collect_digests": collect_digests}
+    if metrics_interval is not None:
+        knobs["metrics_interval"] = metrics_interval
+    blob = json.dumps(knobs, sort_keys=True)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 

@@ -57,6 +57,10 @@ class CellResult:
     cached: bool = False
     #: Qualitative check failures, for quick fleet-level summaries.
     failed_checks: List[str] = field(default_factory=list)
+    #: Metrics dumps (one plain dict per scenario run inside the cell; see
+    #: ``repro.obs.probes.ScenarioMetrics.dump``) when the sweep ran with
+    #: a metrics interval; empty otherwise.
+    metrics: List[dict] = field(default_factory=list)
 
     @property
     def passed(self) -> bool:

@@ -26,11 +26,12 @@ import time
 from typing import List, Optional, Sequence, Tuple
 
 from repro.experiments.registry import get_experiment
+from repro.obs.runtime import collecting
 from repro.runner.cache import ResultCache, config_hash
 from repro.runner.cells import Cell, CellResult
 from repro.verify.runtime import sanitize_enabled, sanitized
 
-_WorkerPayload = Tuple[Cell, bool, bool]
+_WorkerPayload = Tuple[Cell, bool, bool, Optional[float]]
 
 
 def _preferred_context() -> multiprocessing.context.BaseContext:
@@ -39,17 +40,28 @@ def _preferred_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
-def _execute_cell(cell: Cell, collect_digest: bool, sanitize: bool) -> CellResult:
+def _execute_cell(cell: Cell, collect_digest: bool, sanitize: bool,
+                  metrics_interval: Optional[float] = None) -> CellResult:
     """Run one cell in this process and package the outcome."""
+    metrics: List[dict] = []
     with sanitized(sanitize):
         exp = get_experiment(cell.exp_id)
         started = time.perf_counter()  # repro-lint: allow=REPRO102 (wall-time report)
-        result = exp.run(
-            seed=cell.seed,
-            duration=cell.duration,
-            warmup=cell.warmup,
-            collect_digest=collect_digest,
-        )
+        if metrics_interval is not None:
+            with collecting(metrics_interval) as metrics:
+                result = exp.run(
+                    seed=cell.seed,
+                    duration=cell.duration,
+                    warmup=cell.warmup,
+                    collect_digest=collect_digest,
+                )
+        else:
+            result = exp.run(
+                seed=cell.seed,
+                duration=cell.duration,
+                warmup=cell.warmup,
+                collect_digest=collect_digest,
+            )
         wall = time.perf_counter() - started  # repro-lint: allow=REPRO102
     return CellResult(
         cell=cell.resolved(),
@@ -57,12 +69,13 @@ def _execute_cell(cell: Cell, collect_digest: bool, sanitize: bool) -> CellResul
         digest=result.digest,
         wall_s=wall,
         failed_checks=[name for name, ok in result.checks.items() if not ok],
+        metrics=metrics,
     )
 
 
 def _worker(payload: _WorkerPayload) -> CellResult:
-    cell, collect_digest, sanitize = payload
-    return _execute_cell(cell, collect_digest, sanitize)
+    cell, collect_digest, sanitize, metrics_interval = payload
+    return _execute_cell(cell, collect_digest, sanitize, metrics_interval)
 
 
 def run_cells(
@@ -71,6 +84,7 @@ def run_cells(
     cache: Optional[ResultCache] = None,
     collect_digests: bool = False,
     sanitize: Optional[bool] = None,
+    metrics_interval: Optional[float] = None,
 ) -> List[CellResult]:
     """Run every cell and return results in input order.
 
@@ -93,11 +107,18 @@ def run_cells(
     sanitize:
         Explicit sanitize override; None resolves the ambient setting
         (``with sanitized():`` or ``REPRO_SANITIZE``) in the parent.
+    metrics_interval:
+        When set, every cell runs instrumented (:mod:`repro.obs`) at this
+        sampling cadence and ships its metrics dumps back on
+        :attr:`CellResult.metrics`.  Dumps are plain dicts, so they pickle
+        across the pool like the rest of the result.  The cache key folds
+        the interval in, so metric-less cached results never satisfy a
+        metrics request (and vice versa).
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs!r}")
     sanitize = sanitize_enabled(sanitize)
-    config = config_hash(sanitize, collect_digests)
+    config = config_hash(sanitize, collect_digests, metrics_interval)
 
     resolved = [cell.resolved() for cell in cells]
     results: List[Optional[CellResult]] = [None] * len(resolved)
@@ -111,7 +132,8 @@ def run_cells(
             pending.append((index, cell))
 
     if pending:
-        payloads = [(cell, collect_digests, sanitize) for _, cell in pending]
+        payloads = [(cell, collect_digests, sanitize, metrics_interval)
+                    for _, cell in pending]
         if jobs == 1 or len(pending) == 1:
             fresh = [_worker(payload) for payload in payloads]
         else:

@@ -22,6 +22,14 @@ through every sift.
 The paper's simulator (§3) is event-driven at packet granularity; runs of
 500–2000 simulated seconds at 256 kbps produce on the order of 10^5–10^6
 events, which this pure-Python heap handles comfortably.
+
+Observability hooks into the kernel through a single *passive clock
+observer* (:meth:`Simulator.attach_observer`): a callback invoked with the
+time the clock is about to advance to, *before* the event at that instant
+fires.  Because the observer schedules nothing and fires nothing, it is
+invisible to the event stream — ``events_fired`` and trace digests are
+byte-identical with or without one attached, which is the determinism
+contract :mod:`repro.obs` relies on.
 """
 
 from __future__ import annotations
@@ -70,6 +78,41 @@ class Simulator:
         self.trace = trace if trace is not None else Trace(enabled=False)
         #: Number of events fired so far (useful for benchmarks and debugging).
         self.events_fired = 0
+        #: Passive clock observer (see :meth:`attach_observer`); None when
+        #: observability is off, which keeps the run loop at a single
+        #: ``is not None`` test per fired event.
+        self._observer: Optional[Callable[[float], None]] = None
+
+    # ------------------------------------------------------------- observing
+    def attach_observer(self, observer: Callable[[float], None]) -> None:
+        """Register a passive clock observer.
+
+        ``observer(next_time)`` is called whenever the clock is about to
+        advance — immediately before the first event at ``next_time`` fires,
+        and once more with the ``until`` horizon when :meth:`run` pads the
+        clock out to it.  The callback therefore sees the simulation state
+        "at ``next_time`` minus epsilon", which is exactly what a periodic
+        sampler wants.
+
+        The observer MUST be passive: it must not schedule or cancel
+        events, write trace records, or draw from the random streams.
+        Violating this breaks the determinism contract (identical
+        ``events_fired`` and trace digests with the observer on or off).
+        Only one observer may be attached at a time.
+        """
+        if self._observer is not None:
+            raise SimulationError("a clock observer is already attached")
+        self._observer = observer
+
+    def detach_observer(self, observer: Callable[[float], None]) -> None:
+        """Detach ``observer`` if it is the one currently attached.
+
+        Compared with ``==`` rather than ``is``: each attribute access on
+        a bound method builds a fresh object, so ``sim.detach_observer(
+        self._on_advance)`` must still match the one attached earlier.
+        """
+        if self._observer == observer:
+            self._observer = None
 
     # ------------------------------------------------------------------ time
     @property
@@ -140,6 +183,7 @@ class Simulator:
         self._stopped = False
         heap = self._heap
         pop = heappop
+        observer = self._observer
         try:
             # Entries are pushed exactly once and popped before firing, so a
             # queued handle can only be pending or cancelled — reading the
@@ -152,6 +196,8 @@ class Simulator:
                     continue
                 if until is not None and entry[0] > until:
                     break
+                if observer is not None and entry[0] > self._now:
+                    observer(entry[0])
                 pop(heap)
                 self._now = entry[0]
                 self._live -= 1
@@ -161,6 +207,8 @@ class Simulator:
         finally:
             self._running = False
         if until is not None and self._now < until and not self._stopped:
+            if observer is not None:
+                observer(until)
             self._now = until
         return self._now
 
@@ -170,6 +218,8 @@ class Simulator:
             head = heappop(self._heap)[3]
             if head._cancelled:
                 continue
+            if self._observer is not None and head.time > self._now:
+                self._observer(head.time)
             self._now = head.time
             self._live -= 1
             head._fire()

@@ -66,7 +66,7 @@ class Trace:
         out: Dict[Tuple[str, str], int] = {}
         for r in self._records:
             key = (r.category, r.station)
-            out[key] = out.get(key, 0) + 1
+            out[key] = out.get(key, 0) + 1  # repro-lint: allow=REPRO107 (post-hoc histogram)
         return out
 
     def clear(self) -> None:

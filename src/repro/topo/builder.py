@@ -21,7 +21,7 @@ Example (the paper's Figure 2)::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.config import MACA_CONFIG, MACAW_CONFIG
 from repro.core.macaw import MacawMac
@@ -43,12 +43,16 @@ from repro.verify.conformance import (
     ConformanceReport,
     check_scenario,
 )
+from repro.obs.runtime import note_metrics, resolve_metrics
 from repro.verify.runtime import (
     digests_enabled,
     note_digest,
     note_report,
     sanitize_enabled,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.probes import ScenarioMetrics
 
 #: Default warm-up excluded from throughput measurements (§3: "a warmup
 #: period of 50 seconds").
@@ -80,6 +84,9 @@ class Scenario:
         self.report_digest = False
         #: Report from the most recent :meth:`verify` / sanitized run.
         self.conformance: Optional[ConformanceReport] = None
+        #: Live metrics handle (:class:`repro.obs.probes.ScenarioMetrics`);
+        #: None unless the builder instrumented this scenario.
+        self.metrics: Optional["ScenarioMetrics"] = None
 
     def station(self, name: str) -> Station:
         return self.stations[name]
@@ -98,6 +105,8 @@ class Scenario:
         self.duration = duration
         if self.report_digest:
             note_digest(self.sim.trace.digest())
+        if self.metrics is not None:
+            note_metrics(self.metrics.dump())
         if self.sanitize:
             report = self.verify()
             note_report(sum(report.examined.values()), len(report.violations))
@@ -169,6 +178,16 @@ class ScenarioBuilder:
         defers to :func:`repro.verify.runtime.sanitize_enabled` — the
         programmatic override or the ``REPRO_SANITIZE`` environment
         variable — so whole experiment suites can opt in externally.
+    metrics:
+        Opt-in live instrumentation (:mod:`repro.obs`).  ``True`` uses
+        default cadence, a number is a sampling interval in seconds, a
+        :class:`~repro.obs.runtime.MetricsConfig` gives full control,
+        ``False`` forces metrics off.  ``None`` (default) defers to
+        :func:`repro.obs.runtime.ambient_config` — the ``collecting``
+        context manager (used by the CLI and the parallel runner) or the
+        ``REPRO_METRICS`` environment variable.  Instrumentation is
+        passive: same-seed runs produce identical trace digests and
+        ``events_fired`` with metrics on or off.
     """
 
     def __init__(
@@ -183,6 +202,7 @@ class ScenarioBuilder:
         queue_capacity: Optional[int] = 64,
         timing: Optional[MacTiming] = None,
         sanitize: Optional[bool] = None,
+        metrics: Any = None,
     ) -> None:
         if medium not in ("graph", "grid"):
             raise ValueError(f"medium must be 'graph' or 'grid', got {medium!r}")
@@ -193,6 +213,7 @@ class ScenarioBuilder:
         self.bitrate_bps = bitrate_bps
         self.trace = trace
         self.sanitize = sanitize
+        self.metrics = metrics
         self.grid_kwargs = grid_kwargs or {}
         self.queue_capacity = queue_capacity
         self.timing = timing
@@ -394,4 +415,14 @@ class ScenarioBuilder:
 
         for time, action in self._events:
             sim.at(time, action, scenario)
+
+        # Instrument last, once every station and stream exists.  The
+        # sampler attaches as the kernel's passive observer and the probes
+        # only read model state, so an instrumented run fires the same
+        # events and produces the same trace digest as a bare one.
+        metrics_config = resolve_metrics(self.metrics)
+        if metrics_config is not None:
+            from repro.obs.probes import instrument_scenario
+
+            scenario.metrics = instrument_scenario(scenario, metrics_config)
         return scenario

@@ -103,7 +103,7 @@ class ConformanceReport:
     def by_code(self) -> Dict[str, int]:
         out: Dict[str, int] = {}
         for violation in self.violations:
-            out[violation.code] = out.get(violation.code, 0) + 1
+            out[violation.code] = out.get(violation.code, 0) + 1  # repro-lint: allow=REPRO107 (report summary)
         return out
 
     def render(self, limit: int = 20) -> str:
@@ -209,7 +209,7 @@ def check_trace(
         return entry
 
     for record in trace:
-        report.examined[record.category] = report.examined.get(record.category, 0) + 1
+        report.examined[record.category] = report.examined.get(record.category, 0) + 1  # repro-lint: allow=REPRO107 (sanitizer tally)
         if record.time < last_time - _EPS:
             report.violations.append(Violation(
                 "non-monotonic-clock", record.time, record.station,

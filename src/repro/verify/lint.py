@@ -30,6 +30,13 @@ mechanically:
     through ``Medium.audible(sender, receiver)``, the cached public
     accessor, so the per-pair link cache stays authoritative and hot
     paths never bypass it.
+``REPRO107`` ad-hoc-telemetry
+    No ``print()`` calls and no manual counter-dict updates
+    (``d[k] = d.get(k, 0) + n``) in ``src/repro`` outside
+    ``repro/obs/`` and ``cli.py``: telemetry belongs in the typed
+    metrics registry (:mod:`repro.obs`), and user-facing output belongs
+    to the CLI.  Reporting entry points (bench, this linter) annotate
+    their output lines with ``# repro-lint: allow=REPRO107``.
 
 Run it as a module::
 
@@ -95,11 +102,13 @@ class _Visitor(ast.NodeVisitor):
         is_rng_module: bool,
         is_kernel_module: bool,
         is_phy_module: bool = False,
+        is_telemetry_module: bool = False,
     ) -> None:
         self.path = path
         self.is_rng_module = is_rng_module
         self.is_kernel_module = is_kernel_module
         self.is_phy_module = is_phy_module
+        self.is_telemetry_module = is_telemetry_module
         self.findings: List[Finding] = []
         #: Aliases bound to the stdlib ``random`` module.
         self.random_aliases: Set[str] = set()
@@ -242,6 +251,17 @@ class _Visitor(ast.NodeVisitor):
                 f"wall-clock call '{node.func.id}()' in simulation code;"
                 " use Simulator.now",
             )
+        # REPRO107: ad-hoc print() in model code.
+        if (
+            not self.is_telemetry_module
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            self._report(
+                node, "REPRO107",
+                "ad-hoc print() in model code; publish through the repro.obs"
+                " metrics registry or report via the CLI",
+            )
         self.generic_visit(node)
 
     # -------------------------------------------------- mutable defaults
@@ -284,7 +304,36 @@ class _Visitor(ast.NodeVisitor):
         if not self.is_kernel_module:
             for target in node.targets:
                 self._check_now_target(target)
+        if not self.is_telemetry_module:
+            self._check_counter_dict(node)
         self.generic_visit(node)
+
+    def _check_counter_dict(self, node: ast.Assign) -> None:
+        """REPRO107: ``d[k] = d.get(k, 0) + n`` — a hand-rolled counter."""
+        if len(node.targets) != 1:
+            return
+        target = node.targets[0]
+        value = node.value
+        if not isinstance(target, ast.Subscript) or not isinstance(value, ast.BinOp):
+            return
+        if not isinstance(value.op, ast.Add):
+            return
+        for side in (value.left, value.right):
+            if (
+                isinstance(side, ast.Call)
+                and isinstance(side.func, ast.Attribute)
+                and side.func.attr == "get"
+                and len(side.args) == 2
+                and isinstance(side.args[1], ast.Constant)
+                and side.args[1].value == 0
+                and ast.dump(side.func.value) == ast.dump(target.value)
+            ):
+                self._report(
+                    node, "REPRO107",
+                    "manual counter dict ('d[k] = d.get(k, 0) + n'); use a"
+                    " repro.obs Counter instead",
+                )
+                return
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
         if not self.is_kernel_module:
@@ -322,6 +371,11 @@ def lint_source(source: str, path: str = "<string>") -> List[Finding]:
         is_rng_module=normalized.endswith("sim/rng.py"),
         is_kernel_module=normalized.endswith("sim/kernel.py"),
         is_phy_module="/phy/" in normalized or normalized.startswith("phy/"),
+        is_telemetry_module=(
+            "/obs/" in normalized
+            or normalized.startswith("obs/")
+            or normalized.endswith("cli.py")
+        ),
     )
     visitor.visit(tree)
     findings = visitor.findings
@@ -373,24 +427,24 @@ def lint_paths(paths: Iterable[Path]) -> List[Finding]:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     if not args:
-        print("usage: python -m repro.verify.lint <path> [<path> ...]",
+        print("usage: python -m repro.verify.lint <path> [<path> ...]",  # repro-lint: allow=REPRO107 (CLI output)
               file=sys.stderr)
         return 2
     paths = [Path(arg) for arg in args]
     missing = [p for p in paths if not p.exists()]
     if missing:
         for path in missing:
-            print(f"error: no such path: {path}", file=sys.stderr)
+            print(f"error: no such path: {path}", file=sys.stderr)  # repro-lint: allow=REPRO107 (CLI output)
         return 2
     findings = lint_paths(paths)
     for finding in findings:
-        print(finding.render())
+        print(finding.render())  # repro-lint: allow=REPRO107 (CLI output)
     if findings:
         counts: Dict[str, int] = {}
         for finding in findings:
-            counts[finding.code] = counts.get(finding.code, 0) + 1
+            counts[finding.code] = counts.get(finding.code, 0) + 1  # repro-lint: allow=REPRO107 (report summary)
         summary = ", ".join(f"{code}: {n}" for code, n in sorted(counts.items()))
-        print(f"{len(findings)} finding(s) ({summary})")
+        print(f"{len(findings)} finding(s) ({summary})")  # repro-lint: allow=REPRO107 (CLI output)
         return 1
     return 0
 

@@ -1,0 +1,116 @@
+"""JSONL/CSV exporters and cross-seed aggregation."""
+
+import csv
+import json
+
+from repro.obs.aggregate import aggregate_files, bands, main as aggregate_main
+from repro.obs.export import iter_series, load_jsonl, write_csv, write_jsonl
+
+
+def fake_dump(offset=0.0):
+    """A minimal ScenarioMetrics.dump()-shaped dict."""
+    return {
+        "schema": 1,
+        "interval": 1.0,
+        "t_end": 3.0,
+        "samples": 4,
+        "stations": {"P1": "macaw"},
+        "series": [
+            {"name": "mac.queue", "labels": {"station": "P1"},
+             "kind": "gauge", "t": [0.0, 1.0, 2.0, 3.0],
+             "v": [0.0 + offset, 1.0 + offset, 2.0 + offset, 1.0 + offset],
+             "dropped": 0},
+            {"name": "chan.busy_frac", "labels": {},
+             "kind": "gauge", "t": [0.0, 1.0, 2.0, 3.0],
+             "v": [0.0, 0.5, 0.6, 0.7], "dropped": 0},
+        ],
+        "histograms": [
+            {"name": "net.delay_s", "labels": {"stream": "s"},
+             "kind": "histogram", "bounds": [0.1, 1.0],
+             "counts": [3, 2, 1], "sum": 2.5, "count": 6},
+        ],
+    }
+
+
+def test_jsonl_round_trip(tmp_path):
+    path = tmp_path / "run.jsonl"
+    lines = write_jsonl(path, [fake_dump()], meta={"exp": "table2", "seed": 0})
+    assert lines == 3  # two series + one histogram
+    loaded = load_jsonl(path)
+    assert loaded["meta"]["exp"] == "table2"
+    assert loaded["meta"]["runs"] == 1
+    series = iter_series(loaded)
+    assert [s["name"] for s in series] == ["mac.queue", "chan.busy_frac"]
+    assert series[0]["itype"] == "gauge"
+    assert series[0]["t"] == [0.0, 1.0, 2.0, 3.0]
+    assert loaded["histograms"][0]["counts"] == [3, 2, 1]
+
+
+def test_jsonl_is_byte_stable_for_identical_dumps(tmp_path):
+    a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+    write_jsonl(a, [fake_dump()], meta={"seed": 1})
+    write_jsonl(b, [fake_dump()], meta={"seed": 1})
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_csv_long_form(tmp_path):
+    path = tmp_path / "run.csv"
+    rows = write_csv(path, [fake_dump()])
+    assert rows == 8  # 4 points x 2 series
+    with open(path, newline="") as handle:
+        parsed = list(csv.reader(handle))
+    assert parsed[0] == ["run", "name", "labels", "itype", "t", "v"]
+    assert parsed[1][:2] == ["0", "mac.queue"]
+    assert json.loads(parsed[1][2]) == {"station": "P1"}
+
+
+def test_bands_mean_min_max_over_three_seeds():
+    sets = [fake_dump(offset=o)["series"] for o in (0.0, 1.0, 2.0)]
+    merged = bands(sets)
+    assert len(merged) == 2
+    queue = merged[0]
+    assert queue["name"] == "mac.queue"
+    assert queue["labels"] == {"station": "P1"}
+    assert queue["seeds"] == 3
+    assert queue["t"] == [0.0, 1.0, 2.0, 3.0]
+    assert queue["mean"] == [1.0, 2.0, 3.0, 2.0]
+    assert queue["min"] == [0.0, 1.0, 2.0, 1.0]
+    assert queue["max"] == [2.0, 3.0, 4.0, 3.0]
+    assert queue["n"] == [3, 3, 3, 3]
+
+
+def test_bands_align_on_time_not_index():
+    # Lazily created instruments start sampling mid-run: seed B's series
+    # begins at t=2. Alignment must match sample times, not positions.
+    a = [{"name": "g", "labels": {}, "kind": "gauge",
+          "t": [0.0, 1.0, 2.0], "v": [10.0, 10.0, 10.0]}]
+    b = [{"name": "g", "labels": {}, "kind": "gauge",
+          "t": [2.0, 3.0], "v": [20.0, 20.0]}]
+    merged = bands([a, b])
+    band = merged[0]
+    assert band["t"] == [0.0, 1.0, 2.0, 3.0]
+    assert band["n"] == [1, 1, 2, 1]
+    assert band["mean"] == [10.0, 10.0, 15.0, 20.0]
+
+
+def test_aggregate_files_and_cli(tmp_path, capsys):
+    paths = []
+    for seed, offset in enumerate((0.0, 1.0, 2.0)):
+        path = tmp_path / f"seed{seed}.jsonl"
+        write_jsonl(path, [fake_dump(offset)], meta={"seed": seed})
+        paths.append(str(path))
+
+    result = aggregate_files(paths)
+    assert result["seeds"] == 3
+    assert len(result["bands"]) == 2
+
+    out = tmp_path / "bands.json"
+    assert aggregate_main(paths + ["-o", str(out)]) == 0
+    assert "3 seeds" in capsys.readouterr().out
+    written = json.loads(out.read_text())
+    assert written["bands"][0]["mean"] == [1.0, 2.0, 3.0, 2.0]
+
+
+def test_aggregate_cli_missing_file_exits_2(tmp_path, capsys):
+    assert aggregate_main([str(tmp_path / "nope.jsonl")]) == 2
+    assert "no such file" in capsys.readouterr().err

@@ -1,0 +1,94 @@
+"""Typed instrument registry: counters, gauges, histograms, identity."""
+
+import math
+
+import pytest
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def test_counter_owned_accumulation():
+    reg = MetricsRegistry()
+    c = reg.counter("mac.drops", station="P1")
+    c.inc()
+    c.add(2.5)
+    assert c.read() == pytest.approx(3.5)
+
+
+def test_counter_rejects_negative_increment():
+    c = MetricsRegistry().counter("x")
+    with pytest.raises(ValueError):
+        c.add(-1.0)
+
+
+def test_counter_bound_to_model_callback():
+    state = {"sent": 0}
+    c = MetricsRegistry().counter("mac.sent").bind(lambda: state["sent"])
+    assert c.read() == 0
+    state["sent"] = 7
+    assert c.read() == 7
+
+
+def test_gauge_set_and_bind():
+    reg = MetricsRegistry()
+    g = reg.gauge("mac.queue", station="P1")
+    assert g.read() == 0.0  # unset reads as 0.0, not None
+    g.set(4.0)
+    assert g.read() == 4.0
+    bound = reg.gauge("mac.backoff", station="P1").bind(lambda: 20.0)
+    assert bound.read() == 20.0
+
+
+def test_instrument_identity_is_name_plus_sorted_labels():
+    reg = MetricsRegistry()
+    a = reg.counter("mac.drops", station="P1", proto="macaw")
+    b = reg.counter("mac.drops", proto="macaw", station="P1")  # kwarg order
+    assert a is b
+    other = reg.counter("mac.drops", station="P2", proto="macaw")
+    assert other is not a
+    assert len(reg) == 2
+
+
+def test_kind_conflict_raises():
+    reg = MetricsRegistry()
+    reg.counter("mac.drops", station="P1")
+    with pytest.raises(TypeError):
+        reg.gauge("mac.drops", station="P1")
+
+
+def test_scalars_iterate_in_insertion_order():
+    reg = MetricsRegistry()
+    names = ["z.last", "a.first", "m.middle"]
+    for name in names:
+        reg.gauge(name)
+    assert [i.name for i in reg.scalars()] == names
+
+
+def test_histogram_buckets_and_overflow():
+    reg = MetricsRegistry()
+    h = reg.histogram("net.delay_s", bounds=(0.1, 1.0), stream="s")
+    for v in (0.05, 0.5, 0.5, 2.0):
+        h.observe(v)
+    assert h.counts == [1, 2, 1]  # <=0.1, <=1.0, +inf overflow
+    assert h.count == 4
+    assert h.sum == pytest.approx(3.05)
+
+
+def test_histogram_skips_nan_and_validates_bounds():
+    reg = MetricsRegistry()
+    h = reg.histogram("h", bounds=(1.0, 2.0))
+    h.observe(math.nan)
+    assert h.count == 0
+    with pytest.raises(ValueError):
+        reg.histogram("bad", bounds=(2.0, 1.0))
+    with pytest.raises(ValueError):
+        reg.histogram("empty", bounds=())
+
+
+def test_registry_separates_scalars_from_histograms():
+    reg = MetricsRegistry()
+    reg.counter("c")
+    reg.gauge("g")
+    reg.histogram("h", bounds=(1.0,))
+    assert {i.name for i in reg.scalars()} == {"c", "g"}
+    assert [h.name for h in reg.histograms()] == ["h"]

@@ -1,0 +1,120 @@
+"""Kernel-driven sampler: deadlines, passivity, ring overflow."""
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sampler import RingSeries, Sampler
+from repro.sim.kernel import Simulator
+
+
+def test_ring_series_plain_append_and_points():
+    ring = RingSeries(capacity=4)
+    for i in range(3):
+        ring.append(float(i), float(i * 10))
+    assert len(ring) == 3
+    assert ring.dropped == 0
+    assert ring.points() == ([0.0, 1.0, 2.0], [0.0, 10.0, 20.0])
+
+
+def test_ring_series_overflow_drops_oldest_in_time_order():
+    ring = RingSeries(capacity=3)
+    for i in range(5):
+        ring.append(float(i), float(i))
+    assert len(ring) == 3
+    assert ring.dropped == 2
+    times, values = ring.points()
+    assert times == [2.0, 3.0, 4.0]  # oldest two fell off, order kept
+    assert values == times
+
+
+def test_ring_series_rejects_zero_capacity():
+    with pytest.raises(ValueError):
+        RingSeries(capacity=0)
+
+
+def test_sampler_takes_baseline_then_interval_samples():
+    sim = Simulator()
+    reg = MetricsRegistry()
+    reg.gauge("clock").bind(lambda: sim.now)
+    sampler = Sampler(sim, reg, interval=1.0)
+    sim.schedule(5.0, lambda: None)
+    sim.run(until=5.0)
+    times, values = sampler.series("clock")
+    assert times == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+    # Deadline semantics: the sample at t reflects state before the clock
+    # reaches t, so the bound read of sim.now lags one interval.
+    assert values[0] == 0.0 and values[-1] <= 5.0
+
+
+def test_sampler_deadlines_use_tick_counter_not_float_accumulation():
+    sim = Simulator()
+    reg = MetricsRegistry()
+    reg.gauge("g").bind(lambda: 1.0)
+    sampler = Sampler(sim, reg, interval=0.1)
+    sim.run(until=100.0)
+    times, _ = sampler.series("g")
+    # 0.1 is inexact in binary; naive `t += 0.1` drifts. base + k*interval
+    # keeps every deadline within one ulp-scale error of the true grid.
+    assert len(times) == 1001
+    for k, t in enumerate(times):
+        assert t == pytest.approx(0.1 * k, abs=1e-9)
+
+
+def test_sampler_runs_without_scheduling_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(sim.now))
+    sim.schedule(3.0, lambda: fired.append(sim.now))
+    reg = MetricsRegistry()
+    reg.gauge("g").bind(lambda: float(len(fired)))
+    sampler = Sampler(sim, reg, interval=1.0)
+    sim.run(until=4.0)
+    assert sim.events_fired == 2  # only the two scheduled events
+    times, values = sampler.series("g")
+    assert times == [0.0, 1.0, 2.0, 3.0, 4.0]
+    # state-before-deadline: the t=1.0 event had not fired when the
+    # sampler flushed the 1.0 deadline.
+    assert values == [0.0, 0.0, 1.0, 1.0, 2.0]
+
+
+def test_sampler_ring_capacity_bounds_memory():
+    sim = Simulator()
+    reg = MetricsRegistry()
+    reg.gauge("g").bind(lambda: sim.now)
+    sampler = Sampler(sim, reg, interval=1.0, capacity=10)
+    sim.run(until=50.0)
+    key = ("g", ())
+    ring = sampler.all_series()[key]
+    assert len(ring) == 10
+    assert ring.dropped == 41  # 51 samples total, 10 kept
+    times, _ = sampler.series("g")
+    assert times == [float(t) for t in range(41, 51)]
+
+
+def test_instruments_created_mid_run_join_later_deadlines():
+    sim = Simulator()
+    reg = MetricsRegistry()
+    reg.gauge("early").bind(lambda: 1.0)
+    sampler = Sampler(sim, reg, interval=1.0)
+
+    def create_late():
+        reg.gauge("late").bind(lambda: 2.0)
+
+    sim.schedule(2.5, create_late)
+    sim.run(until=5.0)
+    early_t, _ = sampler.series("early")
+    late_t, late_v = sampler.series("late")
+    assert early_t[0] == 0.0
+    assert late_t[0] == 3.0  # first deadline after creation
+    assert all(v == 2.0 for v in late_v)
+
+
+def test_sampler_rejects_bad_interval_and_detaches():
+    sim = Simulator()
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError):
+        Sampler(sim, reg, interval=0.0)
+    sampler = Sampler(sim, reg, interval=1.0)
+    sampler.detach()
+    sim.run(until=3.0)
+    assert sampler.samples_taken == 1  # baseline only; nothing after detach

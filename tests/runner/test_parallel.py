@@ -77,3 +77,54 @@ def test_without_digest_collection_digest_is_none():
 def test_rejects_nonpositive_jobs():
     with pytest.raises(ValueError):
         run_cells([Cell("table9", seed=0, **BOUNDS)], jobs=0)
+
+
+# ------------------------------------------------------------------ metrics
+
+
+def test_metrics_interval_ships_series_back_with_each_cell():
+    cells = expand_cells(["table9"], [0], duration=10.0, warmup=2.0)
+    outcomes = run_cells(cells, jobs=1, metrics_interval=1.0)
+    assert len(outcomes[0].metrics) >= 1  # one dump per scenario run
+    dump = outcomes[0].metrics[0]
+    assert dump["interval"] == 1.0
+    names = {s["name"] for s in dump["series"]}
+    assert "chan.busy_frac" in names and "mac.queue" in names
+
+
+def test_metrics_default_off():
+    cells = expand_cells(["table9"], [0], duration=10.0, warmup=2.0)
+    outcomes = run_cells(cells, jobs=1)
+    assert outcomes[0].metrics == []
+
+
+def test_metrics_parallel_matches_serial_dumps_exactly():
+    cells = expand_cells(["table9"], [0, 1], duration=10.0, warmup=2.0)
+    serial = run_cells(cells, jobs=1, metrics_interval=1.0,
+                       collect_digests=True)
+    parallel = run_cells(cells, jobs=2, metrics_interval=1.0,
+                         collect_digests=True)
+    assert [o.digest for o in serial] == [o.digest for o in parallel]
+    assert [o.metrics for o in serial] == [o.metrics for o in parallel]
+
+
+def test_metrics_do_not_change_digests():
+    cells = expand_cells(["table9"], [0], duration=10.0, warmup=2.0)
+    plain = run_cells(cells, jobs=1, collect_digests=True)
+    metered = run_cells(cells, jobs=1, collect_digests=True,
+                        metrics_interval=0.5)
+    assert plain[0].digest == metered[0].digest
+
+
+def test_metrics_runs_never_reuse_metricless_cache_entries(tmp_path):
+    from repro.runner import ResultCache
+
+    cells = expand_cells(["table9"], [0], duration=10.0, warmup=2.0)
+    cache = ResultCache(str(tmp_path))
+    run_cells(cells, jobs=1, cache=cache)  # warm the metric-less entry
+    outcomes = run_cells(cells, jobs=1, cache=cache, metrics_interval=1.0)
+    assert not outcomes[0].cached  # different config hash: forced re-run
+    assert outcomes[0].metrics
+    again = run_cells(cells, jobs=1, cache=cache, metrics_interval=1.0)
+    assert again[0].cached
+    assert again[0].metrics == outcomes[0].metrics  # series ride the cache

@@ -1,0 +1,92 @@
+"""Passive clock observer: ordering, exclusivity, determinism neutrality."""
+
+import pytest
+
+from repro.sim.kernel import SimulationError, Simulator
+
+
+def test_observer_fires_before_the_event_at_that_time():
+    sim = Simulator()
+    log = []
+    sim.attach_observer(lambda t: log.append(("observe", t, sim.now)))
+    sim.schedule(2.0, lambda: log.append(("event", sim.now)))
+    sim.run()
+    # Observed with the clock still at the previous instant.
+    assert log == [("observe", 2.0, 0.0), ("event", 2.0)]
+
+
+def test_observer_called_once_per_clock_advance_not_per_event():
+    sim = Simulator()
+    advances = []
+    sim.attach_observer(advances.append)
+    for _ in range(3):
+        sim.schedule(1.0, lambda: None)  # three events at the same instant
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    assert advances == [1.0, 2.0]
+
+
+def test_observer_sees_horizon_pad():
+    sim = Simulator()
+    advances = []
+    sim.attach_observer(advances.append)
+    sim.schedule(1.0, lambda: None)
+    sim.run(until=5.0)
+    assert advances == [1.0, 5.0]
+    assert sim.now == 5.0
+
+
+def test_observer_not_called_for_events_beyond_until():
+    sim = Simulator()
+    advances = []
+    sim.attach_observer(advances.append)
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(9.0, lambda: None)
+    sim.run(until=5.0)
+    assert advances == [1.0, 5.0]  # never 9.0
+
+
+def test_only_one_observer_at_a_time():
+    sim = Simulator()
+    first = lambda t: None  # noqa: E731
+    sim.attach_observer(first)
+    with pytest.raises(SimulationError):
+        sim.attach_observer(lambda t: None)
+    sim.detach_observer(first)
+    sim.attach_observer(lambda t: None)  # slot freed
+
+
+def test_detach_ignores_foreign_callback():
+    sim = Simulator()
+    mine = lambda t: None  # noqa: E731
+    sim.attach_observer(mine)
+    sim.detach_observer(lambda t: None)  # not the attached one: no-op
+    with pytest.raises(SimulationError):
+        sim.attach_observer(lambda t: None)
+
+
+def test_observer_is_invisible_to_event_count():
+    def workload(sim):
+        def chain(n):
+            if n:
+                sim.schedule(0.5, chain, n - 1)
+        chain(20)
+        sim.run(until=30.0)
+        return sim.events_fired
+
+    plain = Simulator()
+    observed = Simulator()
+    observed.attach_observer(lambda t: None)
+    assert workload(plain) == workload(observed)
+
+
+def test_step_drives_observer_too():
+    sim = Simulator()
+    advances = []
+    sim.attach_observer(advances.append)
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(1.0, lambda: None)
+    sim.step()
+    assert advances == [1.0]
+    sim.step()  # same instant: clock does not advance again
+    assert advances == [1.0]

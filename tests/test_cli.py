@@ -108,3 +108,57 @@ def test_cache_dir_flag_reuses_results(tmp_path, capsys):
     second = capsys.readouterr().out
     assert "cache: 1 hits / 0 misses" in second
     assert "1 cached" in second
+
+
+@pytest.mark.parametrize("bad", ["0", "-1", "abc", "nan", "inf"])
+def test_malformed_metrics_interval_returns_2(bad, capsys):
+    assert main(["table9", "--metrics", "--metrics-interval", bad]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("macaw-sim:")
+    assert "--metrics-interval" in err
+
+
+def test_metrics_flag_reports_series_summary(capsys):
+    code = main(["table9", "--duration", "8", "--warmup", "1", "--metrics"])
+    out = capsys.readouterr().out
+    assert code in (0, 1)  # paper checks are noisy at 8 s; metrics are not
+    assert "metrics:" in out
+    assert "series collected" in out
+
+
+def test_metrics_out_writes_jsonl_per_cell(tmp_path, capsys):
+    out_dir = tmp_path / "runs"
+    code = main(["table9", "--duration", "8", "--warmup", "1",
+                 "--seeds", "2", "--metrics-out", str(out_dir)])
+    assert code in (0, 1)
+    files = sorted(p.name for p in out_dir.glob("*.jsonl"))
+    assert files == ["table9_seed0.metrics.jsonl", "table9_seed1.metrics.jsonl"]
+
+    from repro.obs.export import load_jsonl
+
+    loaded = load_jsonl(out_dir / files[0])
+    assert loaded["meta"]["exp"] == "table9"
+    assert loaded["meta"]["seed"] == 0
+    names = {s["name"] for s in loaded["series"]}
+    assert "chan.busy_frac" in names
+    assert "mac.backoff" in names
+    assert "metrics:" in capsys.readouterr().out
+
+
+def test_metrics_out_jsonl_feeds_aggregate(tmp_path, capsys):
+    out_dir = tmp_path / "runs"
+    main(["table9", "--duration", "8", "--warmup", "1",
+          "--seeds", "2", "--metrics-out", str(out_dir)])
+    capsys.readouterr()
+
+    from repro.obs.aggregate import main as aggregate_main
+
+    paths = [str(p) for p in sorted(out_dir.glob("*.jsonl"))]
+    bands_path = tmp_path / "bands.json"
+    assert aggregate_main(paths + ["-o", str(bands_path)]) == 0
+    assert bands_path.exists()
+
+
+def test_metrics_off_by_default(capsys):
+    main(["table9", "--duration", "8", "--warmup", "1"])
+    assert "metrics:" not in capsys.readouterr().out

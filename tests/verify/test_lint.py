@@ -99,7 +99,7 @@ def test_unused_import_flagged():
 
 
 def test_used_and_reexported_imports_not_flagged():
-    assert codes("import os\nprint(os.sep)\n") == []
+    assert codes("import os\nx = os.sep\n") == []  # REPRO107 bans print()
     assert codes('from repro.mac.maca import MacaMac\n__all__ = ["MacaMac"]\n') == []
     assert codes('from typing import List\nx: "List[int]" = []\n') == []
 
@@ -173,3 +173,39 @@ def test_module_entrypoint_runs():
         env={"PYTHONPATH": str(SRC.parent), "PATH": "/usr/bin:/bin"},
     )
     assert result.returncode == 0, result.stdout + result.stderr
+
+
+# ---------------------------------------------------------------- REPRO107
+
+
+def test_print_in_model_code_flagged():
+    assert "REPRO107" in codes('print("debug")\n', path="repro/mac/maca.py")
+
+
+def test_print_exempt_in_obs_and_cli_modules():
+    assert codes('print("ok")\n', path="repro/obs/aggregate.py") == []
+    assert codes('print("ok")\n', path="repro/cli.py") == []
+
+
+def test_manual_counter_dict_flagged():
+    src = "counts = {}\ncounts[key] = counts.get(key, 0) + 1\n"
+    assert "REPRO107" in codes(src, path="repro/mac/maca.py")
+
+
+def test_counter_dict_with_amount_on_either_side_flagged():
+    left = "d[k] = d.get(k, 0) + n\n"
+    right = "d[k] = n + d.get(k, 0)\n"
+    assert "REPRO107" in codes(left, path="repro/core/x.py")
+    assert "REPRO107" in codes(right, path="repro/core/x.py")
+
+
+def test_unrelated_dict_assignment_not_flagged():
+    # Not the counter idiom: different dict, non-zero default, plain set.
+    assert codes("d[k] = other.get(k, 0) + 1\n", path="repro/core/x.py") == []
+    assert codes("d[k] = d.get(k, 5) + 1\n", path="repro/core/x.py") == []
+    assert codes("d[k] = 1\n", path="repro/core/x.py") == []
+
+
+def test_repro107_pragma_waives():
+    src = 'print("report")  # repro-lint: allow=REPRO107\n'
+    assert codes(src, path="repro/mac/maca.py") == []

@@ -26,7 +26,15 @@ from repro.phy import GraphMedium, GridMedium, PacketErrorModel, NoiseSource
 from repro.mac import CsmaMac, CsmaConfig, FrameType, MacTiming
 from repro.mac.maca import MacaMac
 from repro.core import MacawMac, ProtocolConfig
-from repro.core.config import MACA_CONFIG, MACAW_CONFIG, maca_config, macaw_config
+from repro.core.config import (
+    MACA_CONFIG,
+    MACAW_CONFIG,
+    RunProfile,
+    active_profile,
+    maca_config,
+    macaw_config,
+)
+from repro.fault import FaultSchedule
 from repro.net import UdpStream, TcpStream, TcpConfig, FlowRecorder
 from repro.topo import Scenario, ScenarioBuilder, Station
 
@@ -49,6 +57,9 @@ __all__ = [
     "MACAW_CONFIG",
     "maca_config",
     "macaw_config",
+    "RunProfile",
+    "active_profile",
+    "FaultSchedule",
     "UdpStream",
     "TcpStream",
     "TcpConfig",

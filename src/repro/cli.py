@@ -9,8 +9,11 @@ Usage::
     macaw-sim all --seeds 0,1,2,3 --jobs 4
     macaw-sim table9 --seeds 8 --jobs 4 --cache --digest
     macaw-sim table2 --metrics --seeds 3 --metrics-out runs/
+    macaw-sim table2 --chaos churn-light
     macaw-sim verify-trace table5
     macaw-sim verify-trace all
+    macaw-sim chaos --list
+    macaw-sim chaos noise-burst --duration 300 --metrics
 
 ``--seeds`` accepts either a count (``--seeds 4`` runs seed..seed+3) or an
 explicit comma-separated list (``--seeds 0,1,2,3``).  ``--jobs N`` fans the
@@ -29,6 +32,13 @@ cell, ready for ``python -m repro.obs.aggregate`` to band across seeds.
 enabled: every station's trace is replayed through the statechart and
 dialogue checker (:mod:`repro.verify.conformance`) and any violation is
 reported and fails the command.
+
+``--faults spec.json`` / ``--chaos PRESET`` inject a
+:class:`~repro.fault.schedule.FaultSchedule` into every run (link flaps,
+noise bursts, station churn — :mod:`repro.fault`); same-seed runs stay
+deterministic.  The ``chaos`` subcommand instead runs the degradation
+benchmark: clean vs faulted six-pad cells per protocol, reporting how
+much throughput and delay MACAW/MACA/CSMA retain under the schedule.
 """
 
 from __future__ import annotations
@@ -130,6 +140,42 @@ def _add_runner_options(parser: argparse.ArgumentParser) -> None:
         "(implies --metrics; aggregate sweeps with "
         "'python -m repro.obs.aggregate DIR/*.jsonl')",
     )
+    _add_fault_options(parser)
+
+
+def _add_fault_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--faults", default=None, metavar="SPEC.json",
+        help="inject the fault schedule from a JSON spec into every run "
+        "(see repro.fault; deterministic per seed)",
+    )
+    parser.add_argument(
+        "--chaos", default=None, metavar="PRESET",
+        help="inject a named chaos preset ('macaw-sim chaos --list' "
+        "shows them); mutually exclusive with --faults",
+    )
+
+
+def _load_schedule(faults_path: Optional[str], chaos_name: Optional[str]):
+    """The fault schedule the flags ask for, or None.
+
+    Raises ValueError on conflicting flags, unknown presets, or an
+    unreadable/invalid spec file — reported as exit 2 by the callers.
+    """
+    if faults_path is not None and chaos_name is not None:
+        raise ValueError("--faults and --chaos are mutually exclusive")
+    if chaos_name is not None:
+        from repro.fault.presets import get_preset
+
+        return get_preset(chaos_name)
+    if faults_path is not None:
+        from repro.fault import FaultSchedule
+
+        try:
+            return FaultSchedule.from_file(faults_path)
+        except OSError as exc:
+            raise ValueError(f"cannot read --faults spec: {exc}") from None
+    return None
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -194,6 +240,101 @@ def _cmd_verify_trace(argv: List[str]) -> int:
     return 0 if clean else 1
 
 
+def _cmd_chaos(argv: List[str]) -> int:
+    """Degradation benchmark: clean vs faulted runs per protocol."""
+    parser = argparse.ArgumentParser(
+        prog="macaw-sim chaos",
+        description="Compare protocol throughput/delay with and without a "
+        "fault schedule (six-pad cell, Figure 3 topology).",
+    )
+    parser.add_argument(
+        "preset", nargs="?", default=None,
+        help="chaos preset name (see --list); or use --faults SPEC.json",
+    )
+    parser.add_argument(
+        "--faults", default=None, metavar="SPEC.json",
+        help="fault schedule from a JSON spec instead of a preset",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list the known presets and exit",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master random seed")
+    parser.add_argument(
+        "--duration", type=float, default=300.0,
+        help="simulated seconds per run (default 300)",
+    )
+    parser.add_argument(
+        "--warmup", type=float, default=50.0,
+        help="seconds excluded from measurements (default 50)",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="instrument the faulted runs (fault.* probes included)",
+    )
+    parser.add_argument(
+        "--metrics-interval", default="1.0", metavar="SECONDS",
+        help="sampling cadence in simulated seconds (default 1.0)",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="DIR",
+        help="write the faulted runs' metrics JSONL into DIR "
+        "(implies --metrics)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.fault.presets import preset_names
+
+    if args.list:
+        for name in preset_names():
+            print(name)
+        return 0
+    try:
+        metrics_interval = _parse_metrics_interval(args.metrics_interval)
+        schedule = _load_schedule(args.faults, args.preset)
+    except ValueError as exc:
+        print(f"macaw-sim: {exc}", file=sys.stderr)
+        return 2
+    if schedule is None:
+        print(
+            f"macaw-sim: chaos needs a preset ({', '.join(preset_names())}) "
+            "or --faults SPEC.json",
+            file=sys.stderr,
+        )
+        return 2
+    if args.warmup >= args.duration:
+        print("macaw-sim: --warmup must precede --duration", file=sys.stderr)
+        return 2
+    metrics_on = args.metrics or args.metrics_out is not None
+
+    from repro.fault.report import run_degradation
+
+    report = run_degradation(
+        schedule,
+        seed=args.seed,
+        duration=args.duration,
+        warmup=args.warmup,
+        metrics=metrics_interval if metrics_on else None,
+    )
+    print(report.render())
+    if args.metrics_out is not None and report.metrics:
+        from pathlib import Path
+
+        from repro.obs.export import write_jsonl
+
+        directory = Path(args.metrics_out)
+        directory.mkdir(parents=True, exist_ok=True)
+        for protocol, dump in report.metrics.items():
+            path = directory / f"chaos_{protocol}_seed{args.seed}.metrics.jsonl"
+            write_jsonl(path, [dump], meta={
+                "exp": f"chaos:{args.preset or args.faults}",
+                "seed": args.seed,
+                "duration": args.duration,
+                "interval": metrics_interval,
+            })
+        print(f"metrics: {len(report.metrics)} faulted runs -> {directory}/")
+    return 0
+
+
 def _report_metrics(outcomes: list, out_dir: Optional[str],
                     interval: float) -> None:
     """Write (or summarize) the metrics series a sweep shipped back."""
@@ -232,6 +373,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     raw = list(sys.argv[1:] if argv is None else argv)
     if raw and raw[0] == "verify-trace":
         return _cmd_verify_trace(raw[1:])
+    if raw and raw[0] == "chaos":
+        return _cmd_chaos(raw[1:])
 
     args = _build_parser().parse_args(raw)
 
@@ -262,8 +405,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"macaw-sim: {exc}", file=sys.stderr)
         return 2
     metrics_on = args.metrics or args.metrics_out is not None
+    try:
+        schedule = _load_schedule(args.faults, args.chaos)
+    except ValueError as exc:
+        print(f"macaw-sim: {exc}", file=sys.stderr)
+        return 2
 
+    from repro.core.config import RunProfile
     from repro.runner import ResultCache, expand_cells, run_cells
+
+    # The one profile of the invocation: it flows through run_cells into
+    # every cell, serially or across the worker pool.
+    profile = RunProfile(
+        metrics=metrics_interval if metrics_on else None,
+        faults=schedule,
+    )
 
     cache = (
         ResultCache(args.cache_dir)
@@ -277,8 +433,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         duration=args.duration, warmup=args.warmup,
     )
     outcomes = run_cells(cells, jobs=args.jobs, cache=cache,
-                         collect_digests=args.digest,
-                         metrics_interval=metrics_interval if metrics_on else None)
+                         collect_digests=args.digest, profile=profile)
     elapsed = time.perf_counter() - started  # repro-lint: allow=REPRO102
 
     if metrics_on:

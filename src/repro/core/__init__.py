@@ -19,7 +19,13 @@ from repro.core.backoff import (
 )
 from repro.core.streams import StreamQueue, QueuedPacket
 from repro.core.macaw import MacawMac
-from repro.core.config import ProtocolConfig, macaw_config
+from repro.core.config import (
+    ProtocolConfig,
+    RunProfile,
+    active_profile,
+    ambient_profile,
+    macaw_config,
+)
 
 __all__ = [
     "BackoffAlgorithm",
@@ -32,4 +38,7 @@ __all__ = [
     "MacawMac",
     "macaw_config",
     "ProtocolConfig",
+    "RunProfile",
+    "active_profile",
+    "ambient_profile",
 ]

@@ -1,25 +1,52 @@
-"""Protocol configuration.
+"""Protocol and run configuration.
 
-One dataclass captures every design axis the paper explores, so each
-table's two columns differ by exactly one flag:
+Two frozen dataclasses live here:
 
-=====================  =========================================  =========
-Flag                   Paper section                              Table
-=====================  =========================================  =========
-``copy_backoff``       backoff copying                            Table 1
-``backoff``            BEB vs MILD                                Table 2
-``multi_queue``        multiple stream model                      Table 3
-``use_ack``            link-layer ACK                             Table 4
-``use_ds``             data-sending packet                        Table 5
-``use_rrts``           request-for-RTS                            Table 6
-``per_destination``    per-destination backoff (App. B.2)         Table 8
-=====================  =========================================  =========
+* :class:`ProtocolConfig` — the MAC design axes the paper explores, so
+  each table's two columns differ by exactly one flag:
+
+  =====================  =========================================  =========
+  Flag                   Paper section                              Table
+  =====================  =========================================  =========
+  ``copy_backoff``       backoff copying                            Table 1
+  ``backoff``            BEB vs MILD                                Table 2
+  ``multi_queue``        multiple stream model                      Table 3
+  ``use_ack``            link-layer ACK                             Table 4
+  ``use_ds``             data-sending packet                        Table 5
+  ``use_rrts``           request-for-RTS                            Table 6
+  ``per_destination``    per-destination backoff (App. B.2)         Table 8
+  =====================  =========================================  =========
+
+* :class:`RunProfile` — every *run-level* knob that used to sprawl
+  across ``ScenarioBuilder.__init__`` keyword arguments (tracing,
+  sanitizing, metrics, timing, queue capacity, bitrate, grid parameters,
+  fault schedule).  One profile object flows unchanged through
+  ``ScenarioBuilder``, ``Experiment.run``/``run_seeds`` and
+  ``runner.run_cells``, and :meth:`RunProfile.digest` is what the result
+  cache folds into its keys instead of ad-hoc config tuples.
+
+The :func:`active_profile` context manager provides the ambient-profile
+hook (mirroring ``verify.runtime.sanitized`` and ``obs.runtime
+.collecting``): experiments build their scenarios deep inside driver
+code, so the profile cannot always be threaded through as a parameter —
+builders constructed without an explicit ``profile=`` pick up the
+innermost active one.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Optional
+import hashlib
+import json
+import warnings
+from contextlib import contextmanager
+from dataclasses import dataclass, fields, is_dataclass, replace
+from typing import TYPE_CHECKING, Any, Dict, Iterator, Mapping, Optional, Set, Tuple
+
+from repro.obs.runtime import MetricsConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fault.schedule import FaultSchedule
+    from repro.mac.timing import MacTiming
 
 
 @dataclass(frozen=True)
@@ -140,3 +167,223 @@ def macaw_config(**changes: object) -> ProtocolConfig:
 def maca_config(**changes: object) -> ProtocolConfig:
     """The Appendix A MACA configuration, optionally with overrides."""
     return MACA_CONFIG.but(**changes) if changes else MACA_CONFIG
+
+
+# --------------------------------------------------------------------------
+# Run profiles: the consolidated run-level configuration surface.
+# --------------------------------------------------------------------------
+
+def _normalize_grid_kwargs(value: Any) -> Tuple[Tuple[str, Any], ...]:
+    """Canonicalize grid-medium kwargs to a sorted, hashable item tuple."""
+    if value is None:
+        return ()
+    if isinstance(value, Mapping):
+        items = value.items()
+    else:
+        items = tuple(value)  # already an item sequence
+    out = []
+    for item in items:
+        key, val = item
+        if not isinstance(key, str):
+            raise TypeError(f"grid_kwargs keys must be strings, got {key!r}")
+        if isinstance(val, list):
+            val = tuple(val)
+        out.append((key, val))
+    return tuple(sorted(out))
+
+
+def _normalize_metrics(value: Any) -> Any:
+    """Canonicalize a ``metrics`` knob to None / False / MetricsConfig.
+
+    ``None`` defers to the ambient switch at build time, ``False`` forces
+    metrics off, a :class:`~repro.obs.runtime.MetricsConfig` turns them
+    on; ``True`` and bare numbers are sugar for a config.
+    """
+    if value is None or value is False:
+        return value
+    if value is True:
+        return MetricsConfig()
+    if isinstance(value, MetricsConfig):
+        return value
+    if isinstance(value, (int, float)):
+        return MetricsConfig(interval=float(value))
+    raise TypeError(
+        f"metrics expects None/bool/seconds/MetricsConfig, got {value!r}"
+    )
+
+
+@dataclass(frozen=True)
+class RunProfile:
+    """Every run-level knob of a scenario, as one immutable value.
+
+    The single configuration object accepted by
+    :class:`~repro.topo.builder.ScenarioBuilder` (``profile=``),
+    :meth:`Experiment.run`/:meth:`Experiment.run_seeds` and
+    :func:`repro.runner.run_cells`.  Seed, medium kind, protocol and
+    :class:`ProtocolConfig` stay separate — they are the *identity* of an
+    experiment variant, while the profile is how a run is executed and
+    observed (plus which faults are injected into it).
+
+    Fields are normalized on construction so equal configurations compare
+    (and hash) equal regardless of spelling: ``metrics=2`` becomes a
+    :class:`MetricsConfig`, ``grid_kwargs`` dicts become sorted item
+    tuples, and an *empty* fault schedule becomes ``None`` — which is
+    what makes an empty schedule digest-identical to no schedule at all.
+    """
+
+    #: Channel rate (§3: 256 kbps for PARC's radio).
+    bitrate_bps: float = 256_000.0
+    #: MAC queue bound per stream (None = unbounded).
+    queue_capacity: Optional[int] = 64
+    #: Explicit :class:`~repro.mac.timing.MacTiming`; None derives one
+    #: from ``bitrate_bps``.
+    timing: Optional["MacTiming"] = None
+    #: Extra :class:`~repro.phy.grid_medium.GridMedium` constructor
+    #: kwargs; accepts a mapping, stored as a sorted item tuple.
+    grid_kwargs: Any = None
+    #: Record a full protocol trace.
+    trace: bool = False
+    #: Run the conformance sanitizer after every run; None defers to
+    #: :func:`repro.verify.runtime.sanitize_enabled`.
+    sanitize: Optional[bool] = None
+    #: Live instrumentation: None (ambient), False (off), True / seconds /
+    #: :class:`~repro.obs.runtime.MetricsConfig` (on).
+    metrics: Any = None
+    #: Fault schedule to inject (:mod:`repro.fault`); empty normalizes to
+    #: None so a no-op schedule cannot perturb digests or cache keys.
+    faults: Optional["FaultSchedule"] = None
+
+    def __post_init__(self) -> None:
+        if self.bitrate_bps <= 0:
+            raise ValueError(f"bitrate must be positive, got {self.bitrate_bps!r}")
+        if self.queue_capacity is not None and self.queue_capacity < 1:
+            raise ValueError(
+                f"queue capacity must be >= 1 or None, got {self.queue_capacity!r}"
+            )
+        object.__setattr__(self, "grid_kwargs", _normalize_grid_kwargs(self.grid_kwargs))
+        object.__setattr__(self, "metrics", _normalize_metrics(self.metrics))
+        object.__setattr__(self, "trace", bool(self.trace))
+        if self.faults is not None:
+            from repro.fault.schedule import FaultSchedule
+
+            if not isinstance(self.faults, FaultSchedule):
+                raise TypeError(
+                    f"faults expects a FaultSchedule or None, got {self.faults!r}"
+                )
+            if not self.faults:
+                object.__setattr__(self, "faults", None)
+
+    # -------------------------------------------------------------- sugar
+    def but(self, **changes: Any) -> "RunProfile":
+        """A copy with the given fields replaced (normalization re-runs)."""
+        return replace(self, **changes)
+
+    def grid_dict(self) -> Dict[str, Any]:
+        """The grid-medium kwargs as a plain dict (for ``GridMedium(**...)``)."""
+        return dict(self.grid_kwargs)
+
+    @classmethod
+    def current(cls) -> "RunProfile":
+        """The ambient profile (innermost :func:`active_profile`), else defaults."""
+        ambient = ambient_profile()
+        return ambient if ambient is not None else cls()
+
+    # ------------------------------------------------------------- digest
+    def digest(self) -> str:
+        """Stable content hash over every result-affecting knob.
+
+        This is what :func:`repro.runner.run_cells` folds into cache keys.
+        ``timing`` serializes through its dataclass fields, ``metrics``
+        through the resolved config, and ``faults`` through the
+        schedule's canonical dict — an empty schedule was already
+        normalized to None, so chaos sweeps and plain sweeps share their
+        baseline cache entries.
+        """
+        if self.timing is None:
+            timing_blob: Any = None
+        elif is_dataclass(self.timing):
+            timing_blob = {
+                f.name: getattr(self.timing, f.name)
+                for f in fields(self.timing) if f.init
+            }
+        else:  # pragma: no cover - defensive for duck-typed timings
+            timing_blob = repr(self.timing)
+        if self.metrics is None or self.metrics is False:
+            metrics_blob: Any = bool(self.metrics) if self.metrics is not None else None
+        else:
+            metrics_blob = {
+                "interval": self.metrics.interval,
+                "capacity": self.metrics.capacity,
+            }
+        blob = json.dumps(
+            {
+                "bitrate_bps": self.bitrate_bps,
+                "queue_capacity": self.queue_capacity,
+                "timing": timing_blob,
+                "grid_kwargs": [list(item) for item in self.grid_kwargs],
+                "trace": self.trace,
+                "sanitize": self.sanitize,
+                "metrics": metrics_blob,
+                "faults": None if self.faults is None else self.faults.to_dict(),
+            },
+            sort_keys=True,
+            default=repr,
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+#: Profile of the innermost active :func:`active_profile` block, if any.
+_ambient_profile: Optional[RunProfile] = None
+
+
+def ambient_profile() -> Optional[RunProfile]:
+    """The innermost :func:`active_profile` block's profile, or None."""
+    return _ambient_profile
+
+
+@contextmanager
+def active_profile(profile: RunProfile) -> Iterator[RunProfile]:
+    """Make ``profile`` ambient for a block.
+
+    Builders constructed inside the block without an explicit
+    ``profile=`` argument (and without legacy kwargs) adopt it — how one
+    CLI-constructed profile reaches every scenario an experiment driver
+    builds, serially or inside pool workers.
+    """
+    global _ambient_profile
+    if not isinstance(profile, RunProfile):
+        raise TypeError(f"active_profile expects a RunProfile, got {profile!r}")
+    previous = _ambient_profile
+    _ambient_profile = profile
+    try:
+        yield profile
+    finally:
+        _ambient_profile = previous
+
+
+# ------------------------------------------------------------ deprecation
+#: Legacy-kwarg warnings already emitted this process (warn once each).
+_warned_kwargs: Set[str] = set()
+
+
+def warn_deprecated_kwarg(owner: str, name: str) -> None:
+    """Emit one DeprecationWarning per (owner, kwarg) per process.
+
+    The legacy keyword surface keeps working identically — the warning
+    only points callers at the consolidated :class:`RunProfile`.
+    """
+    key = f"{owner}.{name}"
+    if key in _warned_kwargs:
+        return
+    _warned_kwargs.add(key)
+    warnings.warn(
+        f"{owner}({name}=...) is deprecated; pass "
+        f"profile=RunProfile({name}=...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which legacy kwargs warned (test hook for warn-once checks)."""
+    _warned_kwargs.clear()

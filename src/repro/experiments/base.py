@@ -8,6 +8,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.tables import ComparisonTable
+from repro.core.config import RunProfile, active_profile
 from repro.verify.runtime import capturing_digests
 
 
@@ -72,8 +73,15 @@ class Experiment(ABC):
         duration: Optional[float] = None,
         warmup: Optional[float] = None,
         collect_digest: bool = False,
+        profile: Optional[RunProfile] = None,
     ) -> ExperimentResult:
         """Run all variants and evaluate the qualitative checks.
+
+        ``profile`` is the :class:`~repro.core.config.RunProfile` every
+        scenario the driver builds runs under; None adopts the ambient
+        profile or defaults.  The profile is made ambient for the whole
+        run, so drivers' plain ``ScenarioBuilder(...)`` calls pick it up
+        without any per-experiment plumbing.
 
         With ``collect_digest`` the run force-enables tracing, captures the
         trace digest of every scenario the driver builds, and stores one
@@ -85,17 +93,20 @@ class Experiment(ABC):
         warmup = warmup if warmup is not None else self.default_warmup
         if warmup >= duration:
             raise ValueError(f"warmup {warmup} must precede duration {duration}")
+        if profile is None:
+            profile = RunProfile.current()
         digest: Optional[str] = None
-        if collect_digest:
-            with capturing_digests() as digests:
+        with active_profile(profile):
+            if collect_digest:
+                with capturing_digests() as digests:
+                    table = self._run(seed=seed, duration=duration, warmup=warmup)
+                hasher = hashlib.sha256()
+                for item in digests:
+                    hasher.update(item.encode("ascii"))
+                    hasher.update(b"\n")
+                digest = hasher.hexdigest()
+            else:
                 table = self._run(seed=seed, duration=duration, warmup=warmup)
-            hasher = hashlib.sha256()
-            for item in digests:
-                hasher.update(item.encode("ascii"))
-                hasher.update(b"\n")
-            digest = hasher.hexdigest()
-        else:
-            table = self._run(seed=seed, duration=duration, warmup=warmup)
         checks = self._check(table)
         return ExperimentResult(
             spec=self.spec, table=table, checks=checks,
@@ -117,6 +128,7 @@ class Experiment(ABC):
         warmup: Optional[float] = None,
         jobs: int = 1,
         collect_digest: bool = False,
+        profile: Optional[RunProfile] = None,
     ) -> "SeedSweepResult":
         """Run the experiment once per seed and aggregate.
 
@@ -140,12 +152,13 @@ class Experiment(ABC):
                 Cell(exp_id=self.spec.exp_id, seed=s, duration=duration, warmup=warmup)
                 for s in seeds
             ]
-            outcomes = run_cells(cells, jobs=jobs, collect_digests=collect_digest)
+            outcomes = run_cells(cells, jobs=jobs, collect_digests=collect_digest,
+                                 profile=profile)
             results = [outcome.result for outcome in outcomes]
         else:
             results = [
                 self.run(seed=s, duration=duration, warmup=warmup,
-                         collect_digest=collect_digest)
+                         collect_digest=collect_digest, profile=profile)
                 for s in seeds
             ]
         return SeedSweepResult(spec=self.spec, results=results)

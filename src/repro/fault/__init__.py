@@ -1,0 +1,51 @@
+"""Fault injection & churn: declarative, seed-deterministic adversity.
+
+The package splits cleanly into data and machinery:
+
+* :mod:`repro.fault.events` / :mod:`repro.fault.generators` — typed,
+  frozen event and process descriptions (pure data, JSON-able);
+* :mod:`repro.fault.schedule` — the ordered :class:`FaultSchedule`
+  container with serialization and a stable digest;
+* :mod:`repro.fault.inject` — compiles a schedule onto a built scenario
+  as kernel events (called from ``ScenarioBuilder.build``);
+* :mod:`repro.fault.presets` — named chaos presets for ``--chaos``;
+* :mod:`repro.fault.report` — fault-free vs faulted degradation runs.
+
+All randomness in this package flows through named ``fault:*`` substreams
+of :class:`repro.sim.rng.RandomStreams`; lint rule REPRO108 enforces it.
+"""
+
+from repro.fault.events import (
+    BurstNoise,
+    ClockedMove,
+    FaultEvent,
+    LinkFlap,
+    QueueSqueeze,
+    StationChurn,
+)
+from repro.fault.generators import (
+    FaultProcess,
+    GilbertElliott,
+    LinkFlapProcess,
+    PoissonChurn,
+)
+from repro.fault.inject import FaultInjector, FaultInstallError, install_faults
+from repro.fault.schedule import EVENT_TYPES, FaultSchedule
+
+__all__ = [
+    "BurstNoise",
+    "ClockedMove",
+    "EVENT_TYPES",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultInstallError",
+    "FaultProcess",
+    "FaultSchedule",
+    "GilbertElliott",
+    "LinkFlap",
+    "LinkFlapProcess",
+    "PoissonChurn",
+    "QueueSqueeze",
+    "StationChurn",
+    "install_faults",
+]

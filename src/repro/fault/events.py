@@ -1,0 +1,208 @@
+"""Typed, declarative fault events.
+
+Each event is a small frozen dataclass describing *one* adverse condition
+from the paper's evaluation, generalized so schedules can compose them:
+
+* :class:`LinkFlap` — a graph-medium link goes down for a window (the
+  asymmetric/one-way-link studies of Figures 4–6 become schedulable);
+* :class:`BurstNoise` — a packet-error burst at selected receivers
+  (§3.3.1's intermittent noise, §3.5's whiteboard);
+* :class:`StationChurn` — a station powers off and (optionally) back on,
+  possibly repositioned (Figure 9's dead pad, §3.5's P7 entering C4);
+* :class:`QueueSqueeze` — a transient MAC queue-capacity clamp (memory
+  pressure / buffer bloat studies);
+* :class:`ClockedMove` — an instantaneous reposition at a fixed time
+  (deterministic mobility waypoints).
+
+Events carry only plain data — station *names*, times, rates — so a
+:class:`~repro.fault.schedule.FaultSchedule` pickles across worker
+processes and serializes to JSON.  Binding names to live objects happens
+at install time (:mod:`repro.fault.inject`), which also validates that
+every named station exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar, Dict, Optional, Tuple
+
+__all__ = [
+    "FaultEvent",
+    "LinkFlap",
+    "BurstNoise",
+    "StationChurn",
+    "QueueSqueeze",
+    "ClockedMove",
+]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Base class: shared serialization and validation hooks.
+
+    ``kind`` is the stable wire/telemetry identifier; ``effect_kind`` is
+    the label under which activations are counted (generators override it
+    with the kind of the concrete faults they emit).
+    """
+
+    kind: ClassVar[str] = "?"
+
+    @property
+    def effect_kind(self) -> str:
+        return self.kind
+
+    def station_names(self) -> Tuple[str, ...]:
+        """Stations this event references (for eager validation)."""
+        return ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able dict with a ``kind`` discriminator."""
+        out: Dict[str, Any] = {"kind": self.kind}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            out[f.name] = value
+        return out
+
+    # ------------------------------------------------------------ helpers
+    @staticmethod
+    def _require_window(start: float, end: float) -> None:
+        if start < 0:
+            raise ValueError(f"fault start must be >= 0, got {start!r}")
+        if end <= start:
+            raise ValueError(f"fault window needs end > start, got [{start!r}, {end!r})")
+
+
+@dataclass(frozen=True)
+class LinkFlap(FaultEvent):
+    """The ``a``–``b`` link is down during ``[start, end)`` (graph medium).
+
+    With ``symmetric=False`` only the a→b direction drops — the one-way
+    link of the paper's noise-near-the-receiver scenarios.
+    """
+
+    kind: ClassVar[str] = "link_flap"
+
+    a: str
+    b: str
+    start: float
+    end: float
+    symmetric: bool = True
+
+    def __post_init__(self) -> None:
+        self._require_window(self.start, self.end)
+        if self.a == self.b:
+            raise ValueError(f"link flap needs two distinct stations, got {self.a!r}")
+
+    def station_names(self) -> Tuple[str, ...]:
+        return (self.a, self.b)
+
+
+@dataclass(frozen=True)
+class BurstNoise(FaultEvent):
+    """Packet error rate ``error_rate`` at ``receivers`` during ``[start, end)``.
+
+    ``receivers=None`` hits every station (a floor-wide noise burst);
+    naming receivers localizes the noise like §3.5's whiteboard.
+    """
+
+    kind: ClassVar[str] = "burst_noise"
+
+    start: float
+    end: float
+    error_rate: float
+    receivers: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        self._require_window(self.start, self.end)
+        if not 0.0 < self.error_rate <= 1.0:
+            raise ValueError(f"error rate must be in (0, 1], got {self.error_rate!r}")
+        if self.receivers is not None:
+            object.__setattr__(self, "receivers", tuple(self.receivers))
+
+    def station_names(self) -> Tuple[str, ...]:
+        return self.receivers or ()
+
+
+@dataclass(frozen=True)
+class StationChurn(FaultEvent):
+    """``station`` powers off at ``off_at``; back on at ``on_at`` (if given).
+
+    On power-on the station may be repositioned (``position``, grid
+    medium) or re-homed onto new links (``connect``, graph medium — the
+    §3.5 migration of P7 into cell C4).  On a graph medium a re-powered
+    station's previous links are restored when ``connect`` is None, since
+    detaching forgot them.
+    """
+
+    kind: ClassVar[str] = "station_churn"
+
+    station: str
+    off_at: float
+    on_at: Optional[float] = None
+    position: Optional[Tuple[float, float, float]] = None
+    connect: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.off_at < 0:
+            raise ValueError(f"off_at must be >= 0, got {self.off_at!r}")
+        if self.on_at is not None and self.on_at <= self.off_at:
+            raise ValueError(
+                f"on_at must follow off_at, got {self.off_at!r} -> {self.on_at!r}"
+            )
+        if self.position is not None:
+            object.__setattr__(self, "position", tuple(self.position))
+        if self.connect is not None:
+            object.__setattr__(self, "connect", tuple(self.connect))
+
+    def station_names(self) -> Tuple[str, ...]:
+        return (self.station,) + (self.connect or ())
+
+
+@dataclass(frozen=True)
+class QueueSqueeze(FaultEvent):
+    """Clamp ``station``'s MAC queue capacity to ``capacity`` in ``[start, end)``.
+
+    Already-queued packets are kept; the clamp only rejects new pushes,
+    exactly like a real buffer filling up.  The previous capacity is
+    restored at ``end``.
+    """
+
+    kind: ClassVar[str] = "queue_squeeze"
+
+    station: str
+    capacity: int
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        self._require_window(self.start, self.end)
+        if self.capacity < 1:
+            raise ValueError(f"squeezed capacity must be >= 1, got {self.capacity!r}")
+
+    def station_names(self) -> Tuple[str, ...]:
+        return (self.station,)
+
+
+@dataclass(frozen=True)
+class ClockedMove(FaultEvent):
+    """Move ``station`` to ``position`` at time ``at`` (instantaneous).
+
+    The station's position setter invalidates the medium's link cache, so
+    grid-medium connectivity follows the move immediately.
+    """
+
+    kind: ClassVar[str] = "clocked_move"
+
+    station: str
+    at: float
+    position: Tuple[float, float, float]
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"move time must be >= 0, got {self.at!r}")
+        object.__setattr__(self, "position", tuple(self.position))
+
+    def station_names(self) -> Tuple[str, ...]:
+        return (self.station,)

@@ -1,0 +1,164 @@
+"""Stochastic fault generators.
+
+Where :mod:`repro.fault.events` describes *when* a fault happens,
+generators describe a *process* that emits faults: the NS-2/NS-3 style
+error-prone-channel and mobility studies the related work runs against
+802.11.  Three processes cover the paper's adverse conditions:
+
+* :class:`GilbertElliott` — two-state burst-noise channel: exponential
+  good/bad holding times, a packet error rate while bad;
+* :class:`LinkFlapProcess` — exponential on/off link flapping;
+* :class:`PoissonChurn` — Poisson station power-cycling with exponential
+  outage durations.
+
+Generators run *online*: :mod:`repro.fault.inject` schedules each one's
+next transition as a kernel event, so no run horizon needs to be known
+up front.  Every draw comes from a dedicated ``repro.sim.rng`` substream
+named ``fault:<kind>:<name>`` (lint rule REPRO108 bans any other source
+of randomness in this package), which makes same-seed runs byte-identical
+regardless of process count or worker scheduling — and keeps fault draws
+from perturbing protocol, traffic or noise randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, Optional, Tuple
+
+from repro.fault.events import BurstNoise, FaultEvent, LinkFlap, StationChurn
+
+__all__ = ["FaultProcess", "GilbertElliott", "LinkFlapProcess", "PoissonChurn"]
+
+
+@dataclass(frozen=True)
+class FaultProcess(FaultEvent):
+    """Base class for stochastic generators.
+
+    ``name`` disambiguates the random substream when a schedule holds
+    several processes of the same kind; give each one a unique name or
+    their event chains will share (deterministically interleaved) draws.
+    """
+
+    kind: ClassVar[str] = "?"
+
+    start: float = 0.0
+    #: Process stops emitting at this time; None runs to the horizon.
+    end: Optional[float] = None
+    name: str = "main"
+
+    @property
+    def stream_name(self) -> str:
+        """The ``repro.sim.rng`` substream this process draws from."""
+        return f"fault:{self.kind}:{self.name}"
+
+    def _require_bounds(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"process start must be >= 0, got {self.start!r}")
+        if self.end is not None and self.end <= self.start:
+            raise ValueError(
+                f"process window needs end > start, got [{self.start!r}, {self.end!r})"
+            )
+
+
+@dataclass(frozen=True)
+class GilbertElliott(FaultProcess):
+    """Gilbert–Elliott burst-noise channel at ``receivers``.
+
+    The channel alternates between a clean *good* state and a *bad* state
+    with packet error rate ``error_rate``; holding times are exponential
+    with means ``mean_good_s`` / ``mean_bad_s``.  Each bad period becomes
+    one :class:`~repro.fault.events.BurstNoise` activation.
+    """
+
+    kind: ClassVar[str] = "gilbert_elliott"
+
+    mean_good_s: float = 20.0
+    mean_bad_s: float = 5.0
+    error_rate: float = 0.5
+    receivers: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        self._require_bounds()
+        if self.mean_good_s <= 0 or self.mean_bad_s <= 0:
+            raise ValueError("Gilbert-Elliott holding-time means must be positive")
+        if not 0.0 < self.error_rate <= 1.0:
+            raise ValueError(f"error rate must be in (0, 1], got {self.error_rate!r}")
+        if self.receivers is not None:
+            object.__setattr__(self, "receivers", tuple(self.receivers))
+
+    @property
+    def effect_kind(self) -> str:
+        return BurstNoise.kind
+
+    def station_names(self) -> Tuple[str, ...]:
+        return self.receivers or ()
+
+
+@dataclass(frozen=True)
+class LinkFlapProcess(FaultProcess):
+    """Exponential on/off flapping of one link (or, with wildcards, all links).
+
+    The ``a``–``b`` link holds up for Exp(``mean_up_s``), drops for
+    Exp(``mean_down_s``), and repeats.  ``a=None``/``b=None`` targets
+    every declared graph link, each with its own ``fault:...:<a>-<b>``
+    substream so adding a link never perturbs the others' sequences.
+    """
+
+    kind: ClassVar[str] = "link_flap_process"
+
+    a: Optional[str] = None
+    b: Optional[str] = None
+    mean_up_s: float = 30.0
+    mean_down_s: float = 5.0
+    symmetric: bool = True
+
+    def __post_init__(self) -> None:
+        self._require_bounds()
+        if (self.a is None) != (self.b is None):
+            raise ValueError("link flap process needs both endpoints or neither")
+        if self.a is not None and self.a == self.b:
+            raise ValueError(f"link flap needs two distinct stations, got {self.a!r}")
+        if self.mean_up_s <= 0 or self.mean_down_s <= 0:
+            raise ValueError("link flap holding-time means must be positive")
+
+    @property
+    def effect_kind(self) -> str:
+        return LinkFlap.kind
+
+    def station_names(self) -> Tuple[str, ...]:
+        return () if self.a is None or self.b is None else (self.a, self.b)
+
+
+@dataclass(frozen=True)
+class PoissonChurn(FaultProcess):
+    """Poisson power-cycling over a station pool.
+
+    Outages arrive at ``rate_per_s``; each picks a uniform station from
+    ``stations`` (empty = every pad, resolved at install time) and powers
+    it off for Exp(``mean_outage_s``).  Arrivals targeting a station that
+    is already down are skipped — the draw is still consumed, so the
+    sequence stays deterministic under any overlap pattern.
+    """
+
+    kind: ClassVar[str] = "poisson_churn"
+
+    stations: Tuple[str, ...] = ()
+    rate_per_s: float = 0.02
+    mean_outage_s: float = 20.0
+
+    def __post_init__(self) -> None:
+        self._require_bounds()
+        if self.rate_per_s <= 0:
+            raise ValueError(f"churn rate must be positive, got {self.rate_per_s!r}")
+        if self.mean_outage_s <= 0:
+            raise ValueError(
+                f"mean outage must be positive, got {self.mean_outage_s!r}"
+            )
+        object.__setattr__(self, "stations", tuple(self.stations))
+
+    @property
+    def effect_kind(self) -> str:
+        return StationChurn.kind
+
+    def station_names(self) -> Tuple[str, ...]:
+        return self.stations

@@ -1,0 +1,451 @@
+"""Bind a fault schedule onto a built scenario.
+
+:func:`install_faults` is called by ``ScenarioBuilder.build`` when the
+run profile carries a non-empty :class:`~repro.fault.schedule
+.FaultSchedule`.  It validates every referenced station against the
+scenario, then compiles each event onto the kernel as ordinary scheduled
+events:
+
+* :class:`~repro.fault.events.LinkFlap` — ``GraphMedium.set_link`` down
+  at ``start``, back up at ``end``;
+* :class:`~repro.fault.events.BurstNoise` — a dedicated
+  :class:`~repro.phy.noise.PacketErrorModel` (drawing from a
+  ``fault:burst_noise:*`` substream) added at ``start`` and removed at
+  ``end``;
+* :class:`~repro.fault.events.StationChurn` — power-off, then power-on
+  with repositioning / re-homing; on a graph medium the pre-outage links
+  are snapshotted and restored when no explicit ``connect`` is given;
+* :class:`~repro.fault.events.QueueSqueeze` — clamp and later restore the
+  MAC queue's ``capacity``;
+* :class:`~repro.fault.events.ClockedMove` — instantaneous reposition.
+
+Generators (:mod:`repro.fault.generators`) run online: each transition
+draws its holding time from the process's own ``fault:...`` substream and
+schedules the next one, so no run horizon needs to be known up front and
+same-seed runs are byte-identical regardless of how many processes are
+active.
+
+The injector also keeps the telemetry the ``fault.*`` probes read:
+per-kind activation counts, the number of currently-active faults, and a
+recovery-duration log with an ``on_recovery`` callback hook (mirroring
+``FlowRecorder.on_record``) that :mod:`repro.obs.probes` taps for the
+recovery-time histogram.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.fault.events import (
+    BurstNoise,
+    ClockedMove,
+    FaultEvent,
+    LinkFlap,
+    QueueSqueeze,
+    StationChurn,
+)
+from repro.fault.generators import GilbertElliott, LinkFlapProcess, PoissonChurn
+from repro.fault.schedule import FaultSchedule
+from repro.phy.graph_medium import GraphMedium
+from repro.phy.noise import PacketErrorModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.topo.builder import Scenario
+
+__all__ = ["FaultInstallError", "FaultInjector", "install_faults"]
+
+#: A link snapshot: (outgoing peer names, incoming peer names) of a port.
+_LinkSnapshot = Tuple[Tuple[str, ...], Tuple[str, ...]]
+
+
+class FaultInstallError(ValueError):
+    """A schedule references stations/media the scenario does not have."""
+
+
+class FaultInjector:
+    """Installed faults of one scenario: kernel events plus telemetry.
+
+    Built by :func:`install_faults`; every schedule entry is validated and
+    compiled in declaration order, so installation order — and therefore
+    the kernel event sequence and every substream's draw sequence — is a
+    pure function of ``(schedule, seed)``.
+    """
+
+    def __init__(
+        self,
+        scenario: "Scenario",
+        schedule: FaultSchedule,
+        declared_links: Sequence[Tuple[str, str, bool]] = (),
+    ) -> None:
+        self.scenario = scenario
+        self.schedule = schedule
+        self.sim = scenario.sim
+        self.medium = scenario.medium
+        self._declared_links = tuple(declared_links)
+        #: Activations per effect kind (pre-seeded so probes can bind).
+        self.injected: Dict[str, int] = {
+            kind: 0 for kind in schedule.effect_kinds()
+        }
+        #: Activation time of each currently-active fault, by token.
+        self._active: Dict[int, float] = {}
+        self._next_token = 0
+        #: (effect kind, outage duration seconds) per recovered fault.
+        self.recoveries: List[Tuple[str, float]] = []
+        #: Passive observability tap: called as ``on_recovery(kind,
+        #: duration_s)`` when a fault clears.  Must not mutate simulation
+        #: state (the obs layer feeds a histogram from it).
+        self.on_recovery: Optional[Callable[[str, float], None]] = None
+        self._validate()
+        for index, event in enumerate(schedule):
+            self._install(event, index)
+
+    # ------------------------------------------------------------ telemetry
+    def active_count(self) -> int:
+        """Number of faults currently in effect."""
+        return len(self._active)
+
+    def _begin(self, kind: str) -> int:
+        """Record one activation; returns a token for :meth:`_end`."""
+        self.injected[kind] += 1
+        token = self._next_token
+        self._next_token += 1
+        self._active[token] = self.sim.now
+        return token
+
+    def _end(self, kind: str, token: int) -> None:
+        started = self._active.pop(token, None)
+        if started is None:  # pragma: no cover - defensive double-end guard
+            return
+        duration = self.sim.now - started
+        self.recoveries.append((kind, duration))
+        if self.on_recovery is not None:
+            self.on_recovery(kind, duration)
+
+    # ----------------------------------------------------------- validation
+    def _validate(self) -> None:
+        known = self.scenario.stations
+        for name in self.schedule.station_names():
+            if name not in known:
+                raise FaultInstallError(
+                    f"fault schedule references unknown station {name!r}; "
+                    f"declared stations: {', '.join(sorted(known)) or '(none)'}"
+                )
+        for event in self.schedule:
+            if isinstance(event, (LinkFlap, LinkFlapProcess)) and not isinstance(
+                self.medium, GraphMedium
+            ):
+                raise FaultInstallError(
+                    f"{event.kind} faults need the graph medium "
+                    f"(got {type(self.medium).__name__})"
+                )
+            if isinstance(event, QueueSqueeze):
+                mac = known[event.station].mac
+                queue = getattr(mac, "queue", None)
+                if queue is None or not hasattr(queue, "capacity"):
+                    raise FaultInstallError(
+                        f"queue_squeeze needs a MAC with a bounded queue; "
+                        f"{event.station!r} runs {type(mac).__name__}"
+                    )
+
+    # --------------------------------------------------------------- install
+    def _install(self, event: FaultEvent, index: int) -> None:
+        if isinstance(event, LinkFlap):
+            self._install_link_flap(event)
+        elif isinstance(event, BurstNoise):
+            self._install_burst_noise(event, index)
+        elif isinstance(event, StationChurn):
+            self._install_station_churn(event)
+        elif isinstance(event, QueueSqueeze):
+            self._install_queue_squeeze(event)
+        elif isinstance(event, ClockedMove):
+            self._install_clocked_move(event)
+        elif isinstance(event, GilbertElliott):
+            self._install_gilbert_elliott(event)
+        elif isinstance(event, LinkFlapProcess):
+            self._install_link_flap_process(event)
+        elif isinstance(event, PoissonChurn):
+            self._install_poisson_churn(event)
+        else:  # pragma: no cover - schedule construction rejects these
+            raise FaultInstallError(f"uninstallable fault event {event!r}")
+
+    # ---------------------------------------------------------- link helpers
+    def _graph(self) -> GraphMedium:
+        assert isinstance(self.medium, GraphMedium)  # _validate guarantees it
+        return self.medium
+
+    def _set_link_safe(
+        self, a: str, b: str, connected: bool, symmetric: bool
+    ) -> None:
+        """``set_link`` that skips silently when either port is detached.
+
+        A flap firing while one endpoint is powered off (churn overlap)
+        must not crash the run; the link state of a detached port is
+        whatever its power-on restoration says it is.
+        """
+        medium = self._graph()
+        port_a = self.scenario.stations[a].mac
+        port_b = self.scenario.stations[b].mac
+        if medium.attached(port_a) and medium.attached(port_b):
+            medium.set_link(port_a, port_b, connected, symmetric)
+
+    def _snapshot_links(self, name: str) -> Optional[_LinkSnapshot]:
+        """The station's directed graph links, by peer name (or None)."""
+        if not isinstance(self.medium, GraphMedium):
+            return None
+        port = self.scenario.stations[name].mac
+        outgoing, incoming = self.medium.links_snapshot(port)
+        return (
+            tuple(p.name for p in outgoing),
+            tuple(p.name for p in incoming),
+        )
+
+    def _restore_links(self, name: str, snapshot: Optional[_LinkSnapshot]) -> None:
+        if snapshot is None:
+            return
+        outgoing, incoming = snapshot
+        for peer in outgoing:
+            self._set_link_safe(name, peer, True, symmetric=False)
+        for peer in incoming:
+            self._set_link_safe(peer, name, True, symmetric=False)
+
+    def _power_on_station(
+        self,
+        name: str,
+        position: Optional[Tuple[float, float, float]],
+        connect: Optional[Tuple[str, ...]],
+        snapshot: Optional[_LinkSnapshot],
+    ) -> None:
+        station = self.scenario.stations[name]
+        if station.powered:
+            return
+        if position is not None:
+            station.position = position
+        station.power_on()
+        if not isinstance(self.medium, GraphMedium):
+            return
+        if connect is not None:
+            for peer in connect:
+                self._set_link_safe(name, peer, True, symmetric=True)
+        else:
+            self._restore_links(name, snapshot)
+
+    # --------------------------------------------------------- event installs
+    def _install_link_flap(self, event: LinkFlap) -> None:
+        self._graph()
+
+        def down() -> None:
+            token = self._begin(LinkFlap.kind)
+            self._set_link_safe(event.a, event.b, False, event.symmetric)
+
+            def up() -> None:
+                self._set_link_safe(event.a, event.b, True, event.symmetric)
+                self._end(LinkFlap.kind, token)
+
+            self.sim.at(event.end, up)
+
+        self.sim.at(event.start, down)
+
+    def _install_burst_noise(self, event: BurstNoise, index: int) -> None:
+        model = PacketErrorModel(
+            event.error_rate,
+            receivers=event.receivers,
+            stream=f"fault:{BurstNoise.kind}:{index}",
+        )
+
+        def start() -> None:
+            token = self._begin(BurstNoise.kind)
+            self.medium.add_noise_model(model)
+
+            def stop() -> None:
+                self.medium.remove_noise_model(model)
+                self._end(BurstNoise.kind, token)
+
+            self.sim.at(event.end, stop)
+
+        self.sim.at(event.start, start)
+
+    def _install_station_churn(self, event: StationChurn) -> None:
+        def off() -> None:
+            station = self.scenario.stations[event.station]
+            if not station.powered:
+                return
+            snapshot = None
+            if event.on_at is not None and event.connect is None:
+                snapshot = self._snapshot_links(event.station)
+            token = self._begin(StationChurn.kind)
+            station.power_off()
+            if event.on_at is None:
+                return  # permanent outage: stays in the active gauge
+
+            def on() -> None:
+                self._power_on_station(
+                    event.station, event.position, event.connect, snapshot
+                )
+                self._end(StationChurn.kind, token)
+
+            self.sim.at(event.on_at, on)
+
+        self.sim.at(event.off_at, off)
+
+    def _install_queue_squeeze(self, event: QueueSqueeze) -> None:
+        def start() -> None:
+            queue = self.scenario.stations[event.station].mac.queue
+            previous = queue.capacity
+            squeezed = (
+                event.capacity if previous is None
+                else min(previous, event.capacity)
+            )
+            token = self._begin(QueueSqueeze.kind)
+            queue.capacity = squeezed
+
+            def stop() -> None:
+                queue.capacity = previous
+                self._end(QueueSqueeze.kind, token)
+
+            self.sim.at(event.end, stop)
+
+        self.sim.at(event.start, start)
+
+    def _install_clocked_move(self, event: ClockedMove) -> None:
+        def move() -> None:
+            self.injected[ClockedMove.kind] += 1
+            self.scenario.stations[event.station].position = event.position
+
+        self.sim.at(event.at, move)
+
+    # ------------------------------------------------------ process installs
+    def _install_gilbert_elliott(self, proc: GilbertElliott) -> None:
+        rng = self.sim.streams.get(proc.stream_name)
+        noise_stream = f"{proc.stream_name}:noise"
+
+        def schedule_bad(from_time: float) -> None:
+            at = from_time + float(rng.exponential(proc.mean_good_s))
+            if proc.end is not None and at >= proc.end:
+                return
+            self.sim.at(at, go_bad)
+
+        def go_bad() -> None:
+            duration = float(rng.exponential(proc.mean_bad_s))
+            clear_at = self.sim.now + duration
+            if proc.end is not None:
+                clear_at = min(clear_at, proc.end)
+            token = self._begin(BurstNoise.kind)
+            model = PacketErrorModel(
+                proc.error_rate, receivers=proc.receivers, stream=noise_stream
+            )
+            self.medium.add_noise_model(model)
+
+            def go_good() -> None:
+                self.medium.remove_noise_model(model)
+                self._end(BurstNoise.kind, token)
+                schedule_bad(self.sim.now)
+
+            self.sim.at(clear_at, go_good)
+
+        schedule_bad(proc.start)
+
+    def _flap_targets(
+        self, proc: LinkFlapProcess
+    ) -> List[Tuple[str, str, bool, str]]:
+        """(a, b, symmetric, substream) per flapped link, declaration order."""
+        if proc.a is not None and proc.b is not None:
+            return [(proc.a, proc.b, proc.symmetric, proc.stream_name)]
+        if not self._declared_links:
+            raise FaultInstallError(
+                "wildcard link_flap_process needs declared graph links"
+            )
+        targets: List[Tuple[str, str, bool, str]] = []
+        seen: Dict[Tuple[str, str], None] = {}
+        for a, b, symmetric in self._declared_links:
+            if (a, b) in seen:
+                continue
+            seen[(a, b)] = None
+            targets.append((a, b, symmetric, f"{proc.stream_name}:{a}-{b}"))
+        return targets
+
+    def _install_link_flap_process(self, proc: LinkFlapProcess) -> None:
+        self._graph()
+        for a, b, symmetric, stream in self._flap_targets(proc):
+            self._start_flap_chain(proc, a, b, symmetric, stream)
+
+    def _start_flap_chain(
+        self, proc: LinkFlapProcess, a: str, b: str, symmetric: bool, stream: str
+    ) -> None:
+        rng = self.sim.streams.get(stream)
+
+        def schedule_down(from_time: float) -> None:
+            at = from_time + float(rng.exponential(proc.mean_up_s))
+            if proc.end is not None and at >= proc.end:
+                return
+            self.sim.at(at, down)
+
+        def down() -> None:
+            duration = float(rng.exponential(proc.mean_down_s))
+            up_at = self.sim.now + duration
+            if proc.end is not None:
+                up_at = min(up_at, proc.end)
+            token = self._begin(LinkFlap.kind)
+            self._set_link_safe(a, b, False, symmetric)
+
+            def up() -> None:
+                self._set_link_safe(a, b, True, symmetric)
+                self._end(LinkFlap.kind, token)
+                schedule_down(self.sim.now)
+
+            self.sim.at(up_at, up)
+
+        schedule_down(proc.start)
+
+    def _install_poisson_churn(self, proc: PoissonChurn) -> None:
+        if proc.stations:
+            pool: Tuple[str, ...] = proc.stations
+        else:
+            pool = tuple(
+                name for name, station in self.scenario.stations.items()
+                if station.kind == "pad"
+            )
+        if not pool:
+            raise FaultInstallError("poisson_churn has no pads to power-cycle")
+        rng = self.sim.streams.get(proc.stream_name)
+        mean_gap = 1.0 / proc.rate_per_s
+
+        def schedule_arrival(from_time: float) -> None:
+            at = from_time + float(rng.exponential(mean_gap))
+            if proc.end is not None and at >= proc.end:
+                return
+            self.sim.at(at, arrive)
+
+        def arrive() -> None:
+            # Draws are consumed unconditionally (station pick + outage
+            # length) so the sequence is deterministic under any overlap.
+            name = pool[int(rng.integers(len(pool)))]
+            outage = float(rng.exponential(proc.mean_outage_s))
+            schedule_arrival(self.sim.now)
+            station = self.scenario.stations[name]
+            if not station.powered:
+                return
+            snapshot = self._snapshot_links(name)
+            token = self._begin(StationChurn.kind)
+            station.power_off()
+
+            def on() -> None:
+                self._power_on_station(name, None, None, snapshot)
+                self._end(StationChurn.kind, token)
+
+            self.sim.at(self.sim.now + outage, on)
+
+        schedule_arrival(proc.start)
+
+
+def install_faults(
+    scenario: "Scenario",
+    schedule: FaultSchedule,
+    declared_links: Sequence[Tuple[str, str, bool]] = (),
+) -> FaultInjector:
+    """Validate ``schedule`` against ``scenario`` and compile it onto the
+    kernel; returns the injector carrying the ``fault.*`` telemetry.
+
+    ``declared_links`` is the builder's link declarations — what wildcard
+    :class:`~repro.fault.generators.LinkFlapProcess` instances expand to.
+    """
+    return FaultInjector(scenario, schedule, declared_links)

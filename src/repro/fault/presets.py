@@ -1,0 +1,70 @@
+"""Named chaos presets for the CLI's ``--chaos`` flag.
+
+Each preset is a zero-argument factory returning a fresh
+:class:`~repro.fault.schedule.FaultSchedule`, so presets stay immutable
+across invocations.  They are deliberately topology-agnostic — only
+generators with wildcard / every-pad targets — so any scenario accepts
+them without naming stations.
+
+``churn-light`` is tuned mild enough that the sanitized paper tables
+still pass their checks under it; CI runs it as the chaos smoke job.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.fault.generators import GilbertElliott, LinkFlapProcess, PoissonChurn
+from repro.fault.schedule import FaultSchedule
+
+__all__ = ["PRESETS", "get_preset", "preset_names"]
+
+
+def _noise_burst() -> FaultSchedule:
+    """§3.3.1-style intermittent noise: bursty packet loss floor-wide."""
+    return FaultSchedule((
+        GilbertElliott(mean_good_s=15.0, mean_bad_s=5.0, error_rate=0.35),
+    ))
+
+
+def _churn() -> FaultSchedule:
+    """Pads power-cycling at a noticeable rate (stress preset)."""
+    return FaultSchedule((
+        PoissonChurn(rate_per_s=0.02, mean_outage_s=20.0),
+    ))
+
+
+def _churn_light() -> FaultSchedule:
+    """Occasional short pad outages; paper-table checks should survive."""
+    return FaultSchedule((
+        PoissonChurn(rate_per_s=0.004, mean_outage_s=6.0),
+    ))
+
+
+def _flaky_links() -> FaultSchedule:
+    """Every declared graph link flaps with long up / short down times."""
+    return FaultSchedule((
+        LinkFlapProcess(mean_up_s=25.0, mean_down_s=4.0),
+    ))
+
+
+#: Preset registry: name -> schedule factory.
+PRESETS: Dict[str, Callable[[], FaultSchedule]] = {
+    "noise-burst": _noise_burst,
+    "churn": _churn,
+    "churn-light": _churn_light,
+    "flaky-links": _flaky_links,
+}
+
+
+def preset_names() -> Tuple[str, ...]:
+    return tuple(sorted(PRESETS))
+
+
+def get_preset(name: str) -> FaultSchedule:
+    """The named preset's schedule; raises with the known names listed."""
+    factory = PRESETS.get(name)
+    if factory is None:
+        known = ", ".join(preset_names())
+        raise ValueError(f"unknown chaos preset {name!r}; known presets: {known}")
+    return factory()

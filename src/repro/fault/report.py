@@ -1,0 +1,178 @@
+"""Degradation reports: faulted vs fault-free runs, side by side.
+
+:func:`run_degradation` runs the paper's six-pad single cell (Figure 3 /
+Table 2's topology) twice per protocol — once clean, once with the given
+:class:`~repro.fault.schedule.FaultSchedule` — under identical seeds, and
+reports how much throughput and delay each MAC retains under adversity.
+This is the engine behind ``python -m repro chaos <preset>``.
+
+Both runs share one seed, so the *traffic* randomness is identical; only
+the fault substreams differ (they exist solely in the faulted run), which
+isolates the protocol's robustness from workload luck.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.core.config import RunProfile, active_profile
+from repro.fault.schedule import FaultSchedule
+
+__all__ = ["DegradationReport", "ProtocolDegradation", "run_degradation"]
+
+#: Protocols the chaos CLI compares by default.
+DEFAULT_PROTOCOLS: Tuple[str, ...] = ("macaw", "maca", "csma")
+
+
+def _mean(values: Sequence[float]) -> float:
+    return math.fsum(values) / len(values) if values else float("nan")
+
+
+@dataclass(frozen=True)
+class ProtocolDegradation:
+    """One protocol's clean-vs-faulted comparison."""
+
+    protocol: str
+    baseline_pps: float
+    faulted_pps: float
+    baseline_delay_s: float
+    faulted_delay_s: float
+    #: Fault activations by effect kind in the faulted run.
+    injected: Dict[str, int]
+
+    @property
+    def throughput_retained(self) -> float:
+        """Faulted throughput as a fraction of baseline (NaN if no baseline)."""
+        if self.baseline_pps <= 0.0:
+            return float("nan")
+        return self.faulted_pps / self.baseline_pps
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "protocol": self.protocol,
+            "baseline_pps": self.baseline_pps,
+            "faulted_pps": self.faulted_pps,
+            "throughput_retained": self.throughput_retained,
+            "baseline_delay_s": self.baseline_delay_s,
+            "faulted_delay_s": self.faulted_delay_s,
+            "injected": dict(self.injected),
+        }
+
+
+@dataclass(frozen=True)
+class DegradationReport:
+    """A full chaos comparison across protocols."""
+
+    seed: int
+    duration: float
+    warmup: float
+    rows: Tuple[ProtocolDegradation, ...]
+    #: Per-protocol metrics dumps of the faulted runs (when enabled).
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "duration": self.duration,
+            "warmup": self.warmup,
+            "rows": [row.to_dict() for row in self.rows],
+        }
+
+    def render(self) -> str:
+        """Human-readable comparison table (the CLI prints this)."""
+        header = (
+            f"{'protocol':<10} {'clean pps':>10} {'faulted pps':>12} "
+            f"{'retained':>9} {'clean delay':>12} {'faulted delay':>14}"
+        )
+        lines = [
+            f"degradation report  seed={self.seed}  "
+            f"duration={self.duration:g}s  warmup={self.warmup:g}s",
+            header,
+            "-" * len(header),
+        ]
+        for row in self.rows:
+            retained = row.throughput_retained
+            retained_s = "n/a" if math.isnan(retained) else f"{retained:7.1%}"
+            clean_d = (
+                "n/a" if math.isnan(row.baseline_delay_s)
+                else f"{row.baseline_delay_s * 1e3:9.1f} ms"
+            )
+            fault_d = (
+                "n/a" if math.isnan(row.faulted_delay_s)
+                else f"{row.faulted_delay_s * 1e3:11.1f} ms"
+            )
+            lines.append(
+                f"{row.protocol:<10} {row.baseline_pps:>10.1f} "
+                f"{row.faulted_pps:>12.1f} {retained_s:>9} "
+                f"{clean_d:>12} {fault_d:>14}"
+            )
+        if self.rows:
+            injected = self.rows[0].injected
+            summary = ", ".join(f"{kind}={n}" for kind, n in injected.items())
+            lines.append(f"faults injected: {summary or '(none fired)'}")
+        return "\n".join(lines)
+
+
+def _measure(
+    scenario: Any, warmup: float, duration: float
+) -> Tuple[float, float]:
+    """(aggregate pps, mean delivery delay) over the post-warmup window."""
+    recorder = scenario.recorder
+    pps = 0.0
+    delays: List[float] = []
+    for stream in recorder.streams():
+        pps += recorder.throughput_pps(stream, warmup, duration)
+        delays.extend(recorder.flow(stream).delays_between(warmup, duration))
+    return pps, _mean(delays)
+
+
+def run_degradation(
+    schedule: FaultSchedule,
+    seed: int = 0,
+    duration: float = 300.0,
+    warmup: float = 50.0,
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    metrics: Any = None,
+) -> DegradationReport:
+    """Run clean and faulted six-pad cells per protocol and compare.
+
+    ``metrics`` follows the usual metrics spec (True / interval /
+    ``MetricsConfig``); when set, the *faulted* runs are instrumented and
+    their dumps land in :attr:`DegradationReport.metrics` so the CLI can
+    export the ``fault.*`` series.
+    """
+    if not schedule:
+        raise ValueError("degradation report needs a non-empty fault schedule")
+    from repro.topo.figures import fig3_six_pads
+
+    rows: List[ProtocolDegradation] = []
+    dumps: Dict[str, Any] = {}
+    for protocol in protocols:
+        with active_profile(RunProfile(metrics=False)):
+            clean = fig3_six_pads(protocol=protocol, seed=seed).build()
+        clean.run(duration)
+        base_pps, base_delay = _measure(clean, warmup, duration)
+
+        with active_profile(RunProfile(faults=schedule,
+                                       metrics=metrics or False)):
+            faulted = fig3_six_pads(protocol=protocol, seed=seed).build()
+        faulted.run(duration)
+        fault_pps, fault_delay = _measure(faulted, warmup, duration)
+
+        injector = faulted.fault_injector
+        rows.append(ProtocolDegradation(
+            protocol=protocol,
+            baseline_pps=base_pps,
+            faulted_pps=fault_pps,
+            baseline_delay_s=base_delay,
+            faulted_delay_s=fault_delay,
+            injected=dict(injector.injected) if injector is not None else {},
+        ))
+        if faulted.metrics is not None:
+            dumps[protocol] = faulted.metrics.dump()
+    return DegradationReport(
+        seed=seed, duration=duration, warmup=warmup,
+        rows=tuple(rows), metrics=dumps,
+    )

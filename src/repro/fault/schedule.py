@@ -1,0 +1,148 @@
+"""The declarative fault schedule.
+
+A :class:`FaultSchedule` is an immutable, ordered collection of fault
+events and fault processes (:mod:`repro.fault.events`,
+:mod:`repro.fault.generators`).  It is pure data: picklable across worker
+processes, serializable to JSON (``--faults spec.json``), and hashable
+into the runner's cache key via :meth:`digest_key`.
+
+The determinism contract, enforced by ``tests/fault/``:
+
+* an **empty** schedule is indistinguishable from no schedule at all —
+  same ``events_fired``, byte-identical ``Trace.digest()``, same cache
+  key;
+* a **non-empty** schedule is a pure function of ``(schedule, seed)``:
+  same-seed runs are byte-identical whether executed serially, in a
+  worker pool, or in another process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, Mapping, Sequence, Tuple, Type, Union
+
+from repro.fault.events import (
+    BurstNoise,
+    ClockedMove,
+    FaultEvent,
+    LinkFlap,
+    QueueSqueeze,
+    StationChurn,
+)
+from repro.fault.generators import GilbertElliott, LinkFlapProcess, PoissonChurn
+
+__all__ = ["EVENT_TYPES", "FaultSchedule"]
+
+#: Every schedulable event/process type, keyed by its wire ``kind``.
+EVENT_TYPES: Dict[str, Type[FaultEvent]] = {
+    cls.kind: cls
+    for cls in (
+        LinkFlap,
+        BurstNoise,
+        StationChurn,
+        QueueSqueeze,
+        ClockedMove,
+        GilbertElliott,
+        LinkFlapProcess,
+        PoissonChurn,
+    )
+}
+
+
+def _event_from_dict(payload: Mapping[str, Any]) -> FaultEvent:
+    data = dict(payload)
+    kind = data.pop("kind", None)
+    if kind is None:
+        raise ValueError(f"fault event needs a 'kind' field, got {payload!r}")
+    cls = EVENT_TYPES.get(kind)
+    if cls is None:
+        known = ", ".join(sorted(EVENT_TYPES))
+        raise ValueError(f"unknown fault kind {kind!r}; known kinds: {known}")
+    try:
+        return cls(**data)
+    except TypeError as exc:
+        raise ValueError(f"bad fields for fault kind {kind!r}: {exc}") from None
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """Ordered, immutable set of fault events and processes."""
+
+    events: Tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        for event in self.events:
+            if not isinstance(event, FaultEvent):
+                raise TypeError(
+                    f"schedule entries must be fault events, got {event!r}"
+                )
+
+    # ----------------------------------------------------------- container
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def with_events(self, *events: FaultEvent) -> "FaultSchedule":
+        """A new schedule with ``events`` appended."""
+        return FaultSchedule(self.events + tuple(events))
+
+    def effect_kinds(self) -> Tuple[str, ...]:
+        """Distinct activation kinds, in first-appearance order (telemetry)."""
+        seen: Dict[str, None] = {}
+        for event in self.events:
+            seen.setdefault(event.effect_kind)
+        return tuple(seen)
+
+    def station_names(self) -> Tuple[str, ...]:
+        """Every station any event references (for eager validation)."""
+        seen: Dict[str, None] = {}
+        for event in self.events:
+            for name in event.station_names():
+                seen.setdefault(name)
+        return tuple(seen)
+
+    # ------------------------------------------------------- serialization
+    @classmethod
+    def empty(cls) -> "FaultSchedule":
+        return cls()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"events": [event.to_dict() for event in self.events]}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultSchedule":
+        events = payload.get("events")
+        if not isinstance(events, Sequence) or isinstance(events, (str, bytes)):
+            raise ValueError("fault spec needs an 'events' list")
+        return cls(tuple(_event_from_dict(item) for item in events))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSchedule":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "FaultSchedule":
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+    # -------------------------------------------------------------- digest
+    def digest_key(self) -> str:
+        """Stable content hash, for cache keys and profile digests.
+
+        An empty schedule intentionally has no distinct key — callers
+        (``RunProfile.digest``) normalize it to "no schedule" so chaos
+        sweeps and plain sweeps share baseline cache entries.
+        """
+        blob = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()

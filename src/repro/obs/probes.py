@@ -30,7 +30,15 @@ Exported series (``{label}`` dimensions in braces):
 ``net.rto_events{stream}``      counter  TCP retransmission timeouts
 ``net.retransmissions{stream}`` counter  TCP segments retransmitted
 ``net.delay_s{stream}``   histogram  end-to-end packet delay (dumped at end)
+``fault.active``          gauge    faults currently in effect (injector)
+``fault.injected{kind}``  counter  fault activations by effect kind
+``fault.recovery_s``      histogram  fault outage durations (dumped at end)
 ========================  =======  ==================================================
+
+The ``fault.*`` rows exist only when the scenario's profile carried a
+non-empty :class:`~repro.fault.schedule.FaultSchedule`; they read the
+injector's counters and tap its ``on_recovery`` callback, which — like
+the recorder tap — never writes back into the simulation.
 """
 
 from __future__ import annotations
@@ -51,6 +59,12 @@ __all__ = ["MacProbe", "ScenarioMetrics", "instrument_scenario"]
 #: 256 kbps) out to deep-queue pathologies.
 DELAY_BUCKETS: Tuple[float, ...] = (
     0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0,
+)
+
+#: Fault recovery-time buckets (seconds): sub-second blips out to the
+#: minute-scale outages of the churn presets.
+RECOVERY_BUCKETS: Tuple[float, ...] = (
+    0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 40.0, 80.0, 160.0,
 )
 
 
@@ -120,6 +134,7 @@ class ScenarioMetrics:
                     lambda s=stream, k=key: s.counters()[k]
                 )
         self._wire_recorder(scenario)
+        self._wire_faults(scenario)
 
     def _wire_mac(self, name: str, mac: "BaseMac") -> None:
         registry = self.registry
@@ -153,6 +168,24 @@ class ScenarioMetrics:
             delays[stream].observe(delay)
 
         scenario.recorder.on_record = on_record
+
+    def _wire_faults(self, scenario: "Scenario") -> None:
+        """Publish the fault injector's telemetry (if one is installed)."""
+        injector = scenario.fault_injector
+        if injector is None:
+            return
+        registry = self.registry
+        registry.gauge("fault.active").bind(injector.active_count)
+        for kind in injector.injected:
+            registry.counter("fault.injected", kind=kind).bind(
+                lambda i=injector, k=kind: i.injected[k]
+            )
+        recovery = registry.histogram("fault.recovery_s", bounds=RECOVERY_BUCKETS)
+
+        def on_recovery(kind: str, duration: float) -> None:
+            recovery.observe(duration)
+
+        injector.on_recovery = on_recovery
 
     # ------------------------------------------------------------- reading
     def series(self, name: str, **labels: str) -> Tuple[list, list]:

@@ -16,7 +16,7 @@ reception re-check) instead of rebuilding filtered transmission lists.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Set
+from typing import Any, Dict, Iterable, List, Set, Tuple
 
 from repro.phy.medium import Medium, MediumError, ReceiverPort, Transmission
 from repro.sim.kernel import Simulator
@@ -72,6 +72,24 @@ class GraphMedium(Medium):
     def neighbors(self, port: ReceiverPort) -> List[ReceiverPort]:
         """Ports that can hear ``port``."""
         return sorted(self._edges.get(port, ()), key=lambda p: p.name)
+
+    def links_snapshot(
+        self, port: ReceiverPort
+    ) -> Tuple[List[ReceiverPort], List[ReceiverPort]]:
+        """``(outgoing, incoming)`` links of ``port``, sorted by peer name.
+
+        Outgoing peers can hear ``port``; incoming peers are heard *by*
+        it.  Fault injection snapshots both before a power-off (detaching
+        forgets the edges) so a later power-on can restore asymmetric
+        topologies exactly.
+        """
+        outgoing = self.neighbors(port)
+        incoming = sorted(
+            (peer for peer, heard in self._edges.items()
+             if port in heard and peer is not port),
+            key=lambda p: p.name,
+        )
+        return outgoing, incoming
 
     # ------------------------------------------------------------- semantics
     def _audible(self, sender: ReceiverPort, receiver: ReceiverPort) -> bool:

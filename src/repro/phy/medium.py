@@ -176,6 +176,26 @@ class Medium:
         """Attach a packet-error model applied to every delivery."""
         self._noise_models.append(model)
 
+    def remove_noise_model(self, model: "PacketErrorModel") -> None:
+        """Detach a previously-added packet-error model.
+
+        Transient models (fault injection's noise bursts) add themselves
+        for a window and remove themselves at its end; removing a model
+        that was never added is an error.
+        """
+        try:
+            self._noise_models.remove(model)
+        except ValueError:
+            raise MediumError("noise model was never added") from None
+
+    def attached(self, port: ReceiverPort) -> bool:
+        """Whether ``port`` is currently registered with the medium.
+
+        Powered-off stations are detached; callers that poke link state at
+        arbitrary times (fault injection) use this to skip them.
+        """
+        return port in self._port_index
+
     # ------------------------------------------------------------ link cache
     def audible(self, sender: ReceiverPort, receiver: ReceiverPort) -> bool:
         """Cached :meth:`_audible`: can ``receiver`` hear ``sender`` at all?

@@ -13,6 +13,7 @@ from repro.runner.cache import (
     ResultCache,
     code_version,
     config_hash,
+    profile_hash,
 )
 from repro.runner.cells import Cell, CellResult, expand_cells
 from repro.runner.parallel import run_cells
@@ -26,5 +27,6 @@ __all__ = [
     "code_version",
     "config_hash",
     "expand_cells",
+    "profile_hash",
     "run_cells",
 ]

@@ -27,9 +27,12 @@ import os
 import pickle
 import tempfile
 from pathlib import Path
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.runner.cells import Cell, CellResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.config import RunProfile
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "MACAW_CACHE_DIR"
@@ -69,6 +72,23 @@ def config_hash(sanitize: bool, collect_digests: bool,
     if metrics_interval is not None:
         knobs["metrics_interval"] = metrics_interval
     blob = json.dumps(knobs, sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def profile_hash(profile: "RunProfile", collect_digests: bool) -> str:
+    """Config hash of a full :class:`~repro.core.config.RunProfile`.
+
+    The profile's own :meth:`~repro.core.config.RunProfile.digest` covers
+    every result-affecting knob (sanitize, metrics, faults, timing, …);
+    only digest collection lives outside it.  This supersedes
+    :func:`config_hash` — which remains for callers that predate profiles
+    — and intentionally produces a different key space, so pre-profile
+    cache entries are never served to profile-keyed requests.
+    """
+    blob = json.dumps(
+        {"profile": profile.digest(), "collect_digests": collect_digests},
+        sort_keys=True,
+    )
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 

@@ -6,17 +6,20 @@ so the sweep is embarrassingly parallel — the only contract is that the
 points keep that true:
 
 * workers receive only the cell description (experiment id + seed +
-  bounds) and re-instantiate the experiment from the registry, so no
-  mutable state travels between processes;
+  bounds) plus one pinned :class:`~repro.core.config.RunProfile`, and
+  re-instantiate the experiment from the registry, so no mutable state
+  travels between processes;
 * output order is input order regardless of worker scheduling
   (``Pool.map`` preserves ordering);
-* sanitize mode is resolved in the parent and shipped in the payload, so
-  a ``with sanitized():`` block in the parent applies in workers too
-  (environment-variable opt-in already travels with the environment).
+* ambient switches (sanitize blocks, metrics collection, the active
+  profile) are resolved in the parent and *pinned into the profile*
+  before it ships, so a ``with sanitized():`` or ``active_profile(...)``
+  block in the parent applies identically in every worker.
 
 Determinism is enforced end-to-end by the serial-vs-parallel digest tests:
 same cells through ``jobs=1`` and ``jobs=N`` must produce byte-identical
-per-cell ``Trace.digest()`` values.
+per-cell ``Trace.digest()`` values — with or without a fault schedule on
+the profile.
 """
 
 from __future__ import annotations
@@ -25,13 +28,14 @@ import multiprocessing
 import time
 from typing import List, Optional, Sequence, Tuple
 
+from repro.core.config import RunProfile, warn_deprecated_kwarg
 from repro.experiments.registry import get_experiment
-from repro.obs.runtime import collecting
-from repro.runner.cache import ResultCache, config_hash
+from repro.obs.runtime import collecting, resolve_metrics
+from repro.runner.cache import ResultCache, profile_hash
 from repro.runner.cells import Cell, CellResult
 from repro.verify.runtime import sanitize_enabled, sanitized
 
-_WorkerPayload = Tuple[Cell, bool, bool, Optional[float]]
+_WorkerPayload = Tuple[Cell, bool, RunProfile]
 
 
 def _preferred_context() -> multiprocessing.context.BaseContext:
@@ -40,20 +44,26 @@ def _preferred_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
-def _execute_cell(cell: Cell, collect_digest: bool, sanitize: bool,
-                  metrics_interval: Optional[float] = None) -> CellResult:
-    """Run one cell in this process and package the outcome."""
+def _execute_cell(cell: Cell, collect_digest: bool,
+                  profile: RunProfile) -> CellResult:
+    """Run one cell in this process and package the outcome.
+
+    ``profile`` arrives pinned (sanitize and metrics resolved to concrete
+    values in the parent), so this function behaves identically whether
+    it runs inline or inside a pool worker.
+    """
     metrics: List[dict] = []
-    with sanitized(sanitize):
+    with sanitized(bool(profile.sanitize)):
         exp = get_experiment(cell.exp_id)
         started = time.perf_counter()  # repro-lint: allow=REPRO102 (wall-time report)
-        if metrics_interval is not None:
-            with collecting(metrics_interval) as metrics:
+        if profile.metrics:
+            with collecting(profile.metrics) as metrics:
                 result = exp.run(
                     seed=cell.seed,
                     duration=cell.duration,
                     warmup=cell.warmup,
                     collect_digest=collect_digest,
+                    profile=profile,
                 )
         else:
             result = exp.run(
@@ -61,6 +71,7 @@ def _execute_cell(cell: Cell, collect_digest: bool, sanitize: bool,
                 duration=cell.duration,
                 warmup=cell.warmup,
                 collect_digest=collect_digest,
+                profile=profile,
             )
         wall = time.perf_counter() - started  # repro-lint: allow=REPRO102
     return CellResult(
@@ -74,8 +85,8 @@ def _execute_cell(cell: Cell, collect_digest: bool, sanitize: bool,
 
 
 def _worker(payload: _WorkerPayload) -> CellResult:
-    cell, collect_digest, sanitize, metrics_interval = payload
-    return _execute_cell(cell, collect_digest, sanitize, metrics_interval)
+    cell, collect_digest, profile = payload
+    return _execute_cell(cell, collect_digest, profile)
 
 
 def run_cells(
@@ -85,6 +96,7 @@ def run_cells(
     collect_digests: bool = False,
     sanitize: Optional[bool] = None,
     metrics_interval: Optional[float] = None,
+    profile: Optional[RunProfile] = None,
 ) -> List[CellResult]:
     """Run every cell and return results in input order.
 
@@ -99,26 +111,40 @@ def run_cells(
         ``min(jobs, pending cells)`` workers.
     cache:
         Optional :class:`ResultCache`; hits skip the run entirely, misses
-        are stored after running.  The cache key folds in the sanitize /
-        digest configuration and the source-tree content hash.
+        are stored after running.  The cache key folds in the pinned
+        profile digest, digest collection and the source-tree content
+        hash.
     collect_digests:
         Capture per-cell combined trace digests (forces tracing on inside
         the runs — the equivalence contract between serial and parallel).
-    sanitize:
-        Explicit sanitize override; None resolves the ambient setting
-        (``with sanitized():`` or ``REPRO_SANITIZE``) in the parent.
-    metrics_interval:
-        When set, every cell runs instrumented (:mod:`repro.obs`) at this
-        sampling cadence and ships its metrics dumps back on
-        :attr:`CellResult.metrics`.  Dumps are plain dicts, so they pickle
-        across the pool like the rest of the result.  The cache key folds
-        the interval in, so metric-less cached results never satisfy a
-        metrics request (and vice versa).
+    profile:
+        The :class:`~repro.core.config.RunProfile` every cell runs under
+        (sanitizer, metrics, faults, timing, …).  None adopts the ambient
+        profile (:func:`~repro.core.config.active_profile`) or defaults.
+        Ambient switches are pinned into the profile in the parent, so
+        serial and parallel execution see identical configuration.
+    sanitize, metrics_interval:
+        Deprecated spellings of ``profile.sanitize`` /
+        ``profile.metrics``; each folds into the profile and warns once
+        per process.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs!r}")
-    sanitize = sanitize_enabled(sanitize)
-    config = config_hash(sanitize, collect_digests, metrics_interval)
+    if profile is None:
+        profile = RunProfile.current()
+    if sanitize is not None:
+        warn_deprecated_kwarg("run_cells", "sanitize")
+        profile = profile.but(sanitize=sanitize)
+    if metrics_interval is not None:
+        warn_deprecated_kwarg("run_cells", "metrics_interval")
+        profile = profile.but(metrics=metrics_interval)
+    # Pin ambient resolution in the parent: workers must not re-consult
+    # environment blocks they never entered.
+    pinned = profile.but(
+        sanitize=sanitize_enabled(profile.sanitize),
+        metrics=resolve_metrics(profile.metrics) or False,
+    )
+    config = profile_hash(pinned, collect_digests)
 
     resolved = [cell.resolved() for cell in cells]
     results: List[Optional[CellResult]] = [None] * len(resolved)
@@ -132,8 +158,7 @@ def run_cells(
             pending.append((index, cell))
 
     if pending:
-        payloads = [(cell, collect_digests, sanitize, metrics_interval)
-                    for _, cell in pending]
+        payloads = [(cell, collect_digests, pinned) for _, cell in pending]
         if jobs == 1 or len(pending) == 1:
             fresh = [_worker(payload) for payload in payloads]
         else:

@@ -23,7 +23,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
-from repro.core.config import MACA_CONFIG, MACAW_CONFIG
+from repro.core.config import (
+    MACA_CONFIG,
+    MACAW_CONFIG,
+    RunProfile,
+    ambient_profile,
+    warn_deprecated_kwarg,
+)
 from repro.core.macaw import MacawMac
 from repro.mac.base import BaseMac
 from repro.mac.csma import CsmaConfig, CsmaMac
@@ -52,6 +58,7 @@ from repro.verify.runtime import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fault.inject import FaultInjector
     from repro.obs.probes import ScenarioMetrics
 
 #: Default warm-up excluded from throughput measurements (§3: "a warmup
@@ -87,6 +94,9 @@ class Scenario:
         #: Live metrics handle (:class:`repro.obs.probes.ScenarioMetrics`);
         #: None unless the builder instrumented this scenario.
         self.metrics: Optional["ScenarioMetrics"] = None
+        #: Installed fault injector (:mod:`repro.fault`); None unless the
+        #: builder's profile carried a non-empty schedule.
+        self.fault_injector: Optional["FaultInjector"] = None
 
     def station(self, name: str) -> Station:
         return self.stations[name]
@@ -157,6 +167,14 @@ class _StationSpec:
     config: Optional[Any]
 
 
+#: Keyword arguments the builder accepted before :class:`RunProfile`
+#: consolidated them; each still works, warning once per process.
+_LEGACY_KWARGS = (
+    "bitrate_bps", "trace", "grid_kwargs", "queue_capacity",
+    "timing", "sanitize", "metrics", "faults",
+)
+
+
 class ScenarioBuilder:
     """Collects an experiment description; ``build()`` wires it together.
 
@@ -172,22 +190,19 @@ class ScenarioBuilder:
     config:
         Default protocol configuration (a :class:`ProtocolConfig` for
         macaw/maca, a :class:`CsmaConfig` for csma).
-    sanitize:
-        Run the protocol conformance sanitizer after every
-        :meth:`Scenario.run` (implies tracing).  ``None`` (default)
-        defers to :func:`repro.verify.runtime.sanitize_enabled` — the
-        programmatic override or the ``REPRO_SANITIZE`` environment
-        variable — so whole experiment suites can opt in externally.
-    metrics:
-        Opt-in live instrumentation (:mod:`repro.obs`).  ``True`` uses
-        default cadence, a number is a sampling interval in seconds, a
-        :class:`~repro.obs.runtime.MetricsConfig` gives full control,
-        ``False`` forces metrics off.  ``None`` (default) defers to
-        :func:`repro.obs.runtime.ambient_config` — the ``collecting``
-        context manager (used by the CLI and the parallel runner) or the
-        ``REPRO_METRICS`` environment variable.  Instrumentation is
-        passive: same-seed runs produce identical trace digests and
-        ``events_fired`` with metrics on or off.
+    profile:
+        Every run-level knob — bitrate, queue bound, timing, tracing,
+        sanitizer, metrics, grid kwargs and the fault schedule — as one
+        :class:`~repro.core.config.RunProfile`.  Omitted, the builder
+        adopts the ambient profile
+        (:func:`~repro.core.config.active_profile`) or plain defaults.
+
+    The pre-profile keyword arguments (``bitrate_bps``, ``trace``,
+    ``grid_kwargs``, ``queue_capacity``, ``timing``, ``sanitize``,
+    ``metrics``, ``faults``) still work identically — each folds into the
+    profile and emits one :class:`DeprecationWarning` per process.  The
+    knobs also remain readable/assignable as builder attributes
+    (``builder.metrics = 2.0``), backed by the profile.
     """
 
     def __init__(
@@ -196,32 +211,101 @@ class ScenarioBuilder:
         medium: str = "graph",
         protocol: str = "macaw",
         config: Optional[Any] = None,
-        bitrate_bps: float = 256_000.0,
-        trace: bool = False,
-        grid_kwargs: Optional[Dict[str, Any]] = None,
-        queue_capacity: Optional[int] = 64,
-        timing: Optional[MacTiming] = None,
-        sanitize: Optional[bool] = None,
-        metrics: Any = None,
+        profile: Optional[RunProfile] = None,
+        **legacy: Any,
     ) -> None:
         if medium not in ("graph", "grid"):
             raise ValueError(f"medium must be 'graph' or 'grid', got {medium!r}")
+        unknown = set(legacy) - set(_LEGACY_KWARGS)
+        if unknown:
+            raise TypeError(
+                f"ScenarioBuilder() got unexpected keyword argument(s) "
+                f"{', '.join(sorted(unknown))}"
+            )
+        if profile is not None and not isinstance(profile, RunProfile):
+            raise TypeError(f"profile expects a RunProfile, got {profile!r}")
         self.seed = seed
         self.medium_kind = medium
         self.protocol = protocol
         self.config = config
-        self.bitrate_bps = bitrate_bps
-        self.trace = trace
-        self.sanitize = sanitize
-        self.metrics = metrics
-        self.grid_kwargs = grid_kwargs or {}
-        self.queue_capacity = queue_capacity
-        self.timing = timing
+        base = profile if profile is not None else ambient_profile()
+        self.profile = base if base is not None else RunProfile()
+        for name in _LEGACY_KWARGS:
+            if name in legacy:
+                warn_deprecated_kwarg("ScenarioBuilder", name)
+                self.profile = self.profile.but(**{name: legacy[name]})
         self._stations: List[_StationSpec] = []
         self._links: List[Tuple[str, str, bool]] = []
         self._streams: List[Tuple[str, Dict[str, Any]]] = []
         self._noise: List[PacketErrorModel] = []
         self._events: List[Tuple[float, Callable[[Scenario], None]]] = []
+
+    # ------------------------------------------------- profile-backed knobs
+    # The legacy attribute surface: reads and writes go through the
+    # (immutable) profile so ``builder.metrics = 2.0`` keeps working.
+    @property
+    def bitrate_bps(self) -> float:
+        return self.profile.bitrate_bps
+
+    @bitrate_bps.setter
+    def bitrate_bps(self, value: float) -> None:
+        self.profile = self.profile.but(bitrate_bps=value)
+
+    @property
+    def trace(self) -> bool:
+        return self.profile.trace
+
+    @trace.setter
+    def trace(self, value: bool) -> None:
+        self.profile = self.profile.but(trace=value)
+
+    @property
+    def sanitize(self) -> Optional[bool]:
+        return self.profile.sanitize
+
+    @sanitize.setter
+    def sanitize(self, value: Optional[bool]) -> None:
+        self.profile = self.profile.but(sanitize=value)
+
+    @property
+    def metrics(self) -> Any:
+        return self.profile.metrics
+
+    @metrics.setter
+    def metrics(self, value: Any) -> None:
+        self.profile = self.profile.but(metrics=value)
+
+    @property
+    def grid_kwargs(self) -> Dict[str, Any]:
+        return self.profile.grid_dict()
+
+    @grid_kwargs.setter
+    def grid_kwargs(self, value: Optional[Dict[str, Any]]) -> None:
+        self.profile = self.profile.but(grid_kwargs=value)
+
+    @property
+    def queue_capacity(self) -> Optional[int]:
+        return self.profile.queue_capacity
+
+    @queue_capacity.setter
+    def queue_capacity(self, value: Optional[int]) -> None:
+        self.profile = self.profile.but(queue_capacity=value)
+
+    @property
+    def timing(self) -> Optional[MacTiming]:
+        return self.profile.timing
+
+    @timing.setter
+    def timing(self, value: Optional[MacTiming]) -> None:
+        self.profile = self.profile.but(timing=value)
+
+    @property
+    def faults(self) -> Optional[Any]:
+        return self.profile.faults
+
+    @faults.setter
+    def faults(self, value: Optional[Any]) -> None:
+        self.profile = self.profile.but(faults=value)
 
     # ------------------------------------------------------------- stations
     def add_station(
@@ -246,8 +330,22 @@ class ScenarioBuilder:
         return self.add_station(name, "base", position, **kwargs)
 
     # ---------------------------------------------------------------- links
+    def _require_station(self, name: str) -> None:
+        if not any(spec.name == name for spec in self._stations):
+            raise ValueError(
+                f"unknown station {name!r} in link(); declare it with "
+                f"add_pad()/add_base() first"
+            )
+
     def link(self, a: str, b: str, symmetric: bool = True) -> "ScenarioBuilder":
-        """Declare that ``a`` and ``b`` are in range (graph medium only)."""
+        """Declare that ``a`` and ``b`` are in range (graph medium only).
+
+        Both stations must already be declared — a typo fails here, at the
+        declaration site, rather than as a ``KeyError`` deep in
+        :meth:`build`.
+        """
+        self._require_station(a)
+        self._require_station(b)
         self._links.append((a, b, symmetric))
         return self
 
@@ -349,21 +447,24 @@ class ScenarioBuilder:
 
     def build(self) -> Scenario:
         """Materialize the scenario (idempotent: each call builds afresh)."""
-        sanitize = sanitize_enabled(self.sanitize)
+        profile = self.profile
+        sanitize = sanitize_enabled(profile.sanitize)
         report_digest = digests_enabled()
         sim = Simulator(
             seed=self.seed,
-            trace=Trace(enabled=self.trace or sanitize or report_digest),
+            trace=Trace(enabled=profile.trace or sanitize or report_digest),
         )
         if self.medium_kind == "graph":
-            medium: Medium = GraphMedium(sim, bitrate_bps=self.bitrate_bps)
+            medium: Medium = GraphMedium(sim, bitrate_bps=profile.bitrate_bps)
         else:
-            medium = GridMedium(sim, bitrate_bps=self.bitrate_bps, **self.grid_kwargs)
+            medium = GridMedium(
+                sim, bitrate_bps=profile.bitrate_bps, **profile.grid_dict()
+            )
         recorder = FlowRecorder()
         scenario = Scenario(sim, medium, recorder, sanitize=sanitize)
         scenario.report_digest = report_digest
-        timing = self.timing if self.timing is not None else MacTiming(
-            bitrate_bps=self.bitrate_bps
+        timing = profile.timing if profile.timing is not None else MacTiming(
+            bitrate_bps=profile.bitrate_bps
         )
 
         for spec in self._stations:
@@ -416,11 +517,21 @@ class ScenarioBuilder:
         for time, action in self._events:
             sim.at(time, action, scenario)
 
+        # Faults compile onto the kernel after user events (same build
+        # order every run) and before instrumentation, so the probes can
+        # bind to the injector's counters.
+        if profile.faults is not None:
+            from repro.fault.inject import install_faults
+
+            scenario.fault_injector = install_faults(
+                scenario, profile.faults, declared_links=tuple(self._links)
+            )
+
         # Instrument last, once every station and stream exists.  The
         # sampler attaches as the kernel's passive observer and the probes
         # only read model state, so an instrumented run fires the same
         # events and produces the same trace digest as a bare one.
-        metrics_config = resolve_metrics(self.metrics)
+        metrics_config = resolve_metrics(profile.metrics)
         if metrics_config is not None:
             from repro.obs.probes import instrument_scenario
 

@@ -224,6 +224,23 @@ def check_trace(
             _check_send(record, profile, dialogue(record.station), report, bitrate_bps)
         elif record.category == "recv":
             _note_recv(record, profile, dialogue(record.station))
+        elif record.category == "power":
+            # A power cycle (Figure 9, fault-injection churn) reboots the
+            # radio into its statechart's initial state and forgets any
+            # half-open dialogue; replay must do the same or the next
+            # transition reads as a trace gap.
+            initial = (
+                profile.statechart.initial
+                if profile is not None and profile.statechart is not None
+                else "IDLE"
+            )
+            entry = dialogue(record.station)
+            entry.state = initial
+            entry.pending_rts.clear()
+            entry.pending_ds.clear()
+            entry.pending_data_esn.clear()
+            entry.reack_esn.clear()
+            entry.tx_end = float("-inf")
     return report
 
 

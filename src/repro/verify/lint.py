@@ -37,6 +37,14 @@ mechanically:
     metrics registry (:mod:`repro.obs`), and user-facing output belongs
     to the CLI.  Reporting entry points (bench, this linter) annotate
     their output lines with ``# repro-lint: allow=REPRO107``.
+``REPRO108`` fault-randomness
+    Fault-injection code (``repro/fault/``) must draw all randomness
+    from dedicated ``fault:*`` substreams: no ``random`` / ``numpy
+    .random``, no private ``RandomStreams(...)`` universes, and every
+    ``streams.get(...)`` / ``streams.uniform_slots(...)`` with a
+    literal stream name must use a ``fault:``-prefixed name.  Faults
+    that shared protocol or noise streams would silently perturb the
+    clean runs they are compared against.
 
 Run it as a module::
 
@@ -103,12 +111,14 @@ class _Visitor(ast.NodeVisitor):
         is_kernel_module: bool,
         is_phy_module: bool = False,
         is_telemetry_module: bool = False,
+        is_fault_module: bool = False,
     ) -> None:
         self.path = path
         self.is_rng_module = is_rng_module
         self.is_kernel_module = is_kernel_module
         self.is_phy_module = is_phy_module
         self.is_telemetry_module = is_telemetry_module
+        self.is_fault_module = is_fault_module
         self.findings: List[Finding] = []
         #: Aliases bound to the stdlib ``random`` module.
         self.random_aliases: Set[str] = set()
@@ -149,6 +159,12 @@ class _Visitor(ast.NodeVisitor):
                     "stdlib 'random' is banned in model code; draw from"
                     " Simulator.streams instead",
                 )
+                if self.is_fault_module:
+                    self._report(
+                        node, "REPRO108",
+                        "fault code must draw only from named 'fault:*'"
+                        " substreams of Simulator.streams",
+                    )
             elif root == "numpy":
                 self.numpy_aliases.add(bound)
             elif root == "time":
@@ -173,6 +189,12 @@ class _Visitor(ast.NodeVisitor):
                     "stdlib 'random' is banned in model code; draw from"
                     " Simulator.streams instead",
                 )
+                if self.is_fault_module:
+                    self._report(
+                        node, "REPRO108",
+                        "fault code must draw only from named 'fault:*'"
+                        " substreams of Simulator.streams",
+                    )
             elif root == "time" and alias.name in _WALLCLOCK_TIME_ATTRS:
                 self.wallclock_names.add(bound)
             elif root == "datetime" and alias.name in ("datetime", "date"):
@@ -214,6 +236,12 @@ class _Visitor(ast.NodeVisitor):
                     "direct numpy.random use outside repro.sim.rng; derive a"
                     " named stream from Simulator.streams",
                 )
+                if self.is_fault_module:
+                    self._report(
+                        node, "REPRO108",
+                        "fault code must draw only from named 'fault:*'"
+                        " substreams of Simulator.streams",
+                    )
             # REPRO102: time.time(), datetime.now(), ...
             if base.id in self.time_aliases and node.attr in _WALLCLOCK_TIME_ATTRS:
                 self._report(
@@ -262,7 +290,55 @@ class _Visitor(ast.NodeVisitor):
                 "ad-hoc print() in model code; publish through the repro.obs"
                 " metrics registry or report via the CLI",
             )
+        if self.is_fault_module:
+            self._check_fault_streams(node)
         self.generic_visit(node)
+
+    # -------------------------------------------------- fault randomness
+    @staticmethod
+    def _stream_name_prefix_ok(arg: ast.expr) -> Optional[bool]:
+        """Whether a stream-name argument starts with ``fault:``.
+
+        Returns None when the name cannot be judged statically (a
+        variable, attribute, call result, or f-string whose leading piece
+        is dynamic) — those are left to runtime and review.
+        """
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value.startswith("fault:")
+        if isinstance(arg, ast.JoinedStr) and arg.values:
+            head = arg.values[0]
+            if isinstance(head, ast.Constant) and isinstance(head.value, str):
+                return head.value.startswith("fault:")
+        return None
+
+    def _check_fault_streams(self, node: ast.Call) -> None:
+        """REPRO108: fault code touches only ``fault:*`` substreams."""
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "RandomStreams":
+            self._report(
+                node, "REPRO108",
+                "private RandomStreams(...) universe in fault code; use the"
+                " simulator's registry via a 'fault:*' substream",
+            )
+            return
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr in ("get", "uniform_slots")
+        ):
+            return
+        owner = func.value
+        owner_is_streams = (
+            (isinstance(owner, ast.Attribute) and owner.attr == "streams")
+            or (isinstance(owner, ast.Name) and owner.id == "streams")
+        )
+        if not owner_is_streams or not node.args:
+            return
+        if self._stream_name_prefix_ok(node.args[0]) is False:
+            self._report(
+                node, "REPRO108",
+                "fault code drawing from a non-'fault:*' stream; faults must"
+                " never share protocol/traffic/noise randomness",
+            )
 
     # -------------------------------------------------- mutable defaults
     def _check_defaults(self, node: ast.AST, args: ast.arguments) -> None:
@@ -376,6 +452,7 @@ def lint_source(source: str, path: str = "<string>") -> List[Finding]:
             or normalized.startswith("obs/")
             or normalized.endswith("cli.py")
         ),
+        is_fault_module="/fault/" in normalized or normalized.startswith("fault/"),
     )
     visitor.visit(tree)
     findings = visitor.findings

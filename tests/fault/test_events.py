@@ -1,0 +1,182 @@
+"""Fault events and schedules: validation, serialization, digests."""
+
+import pytest
+
+from repro.fault import (
+    EVENT_TYPES,
+    BurstNoise,
+    ClockedMove,
+    FaultSchedule,
+    GilbertElliott,
+    LinkFlap,
+    LinkFlapProcess,
+    PoissonChurn,
+    QueueSqueeze,
+    StationChurn,
+)
+
+
+# ------------------------------------------------------------- validation
+def test_link_flap_window_and_endpoints():
+    LinkFlap("A", "B", 1.0, 2.0)  # fine
+    with pytest.raises(ValueError):
+        LinkFlap("A", "B", -1.0, 2.0)
+    with pytest.raises(ValueError):
+        LinkFlap("A", "B", 2.0, 2.0)
+    with pytest.raises(ValueError):
+        LinkFlap("A", "A", 1.0, 2.0)
+
+
+def test_burst_noise_error_rate_bounds():
+    BurstNoise(0.0, 5.0, 1.0)
+    with pytest.raises(ValueError):
+        BurstNoise(0.0, 5.0, 0.0)
+    with pytest.raises(ValueError):
+        BurstNoise(0.0, 5.0, 1.5)
+
+
+def test_station_churn_times_must_order():
+    StationChurn("P", off_at=5.0, on_at=10.0)
+    StationChurn("P", off_at=5.0)  # permanent outage is legal
+    with pytest.raises(ValueError):
+        StationChurn("P", off_at=-1.0)
+    with pytest.raises(ValueError):
+        StationChurn("P", off_at=5.0, on_at=5.0)
+
+
+def test_queue_squeeze_capacity_floor():
+    QueueSqueeze("P", capacity=1, start=0.0, end=1.0)
+    with pytest.raises(ValueError):
+        QueueSqueeze("P", capacity=0, start=0.0, end=1.0)
+
+
+def test_clocked_move_time():
+    ClockedMove("P", at=0.0, position=(1.0, 2.0, 0.0))
+    with pytest.raises(ValueError):
+        ClockedMove("P", at=-0.1, position=(0.0, 0.0, 0.0))
+
+
+def test_gilbert_elliott_validation():
+    GilbertElliott()
+    with pytest.raises(ValueError):
+        GilbertElliott(mean_good_s=0.0)
+    with pytest.raises(ValueError):
+        GilbertElliott(error_rate=0.0)
+    with pytest.raises(ValueError):
+        GilbertElliott(start=10.0, end=10.0)
+
+
+def test_link_flap_process_needs_both_or_neither_endpoint():
+    LinkFlapProcess()  # wildcard
+    LinkFlapProcess(a="A", b="B")
+    with pytest.raises(ValueError):
+        LinkFlapProcess(a="A")
+    with pytest.raises(ValueError):
+        LinkFlapProcess(a="A", b="A")
+    with pytest.raises(ValueError):
+        LinkFlapProcess(a="A", b="B", mean_up_s=0.0)
+
+
+def test_poisson_churn_validation():
+    PoissonChurn()
+    with pytest.raises(ValueError):
+        PoissonChurn(rate_per_s=0.0)
+    with pytest.raises(ValueError):
+        PoissonChurn(mean_outage_s=0.0)
+
+
+# ------------------------------------------------------------ effect kinds
+def test_generators_count_under_their_emitted_effect():
+    assert GilbertElliott().effect_kind == BurstNoise.kind
+    assert LinkFlapProcess().effect_kind == LinkFlap.kind
+    assert PoissonChurn().effect_kind == StationChurn.kind
+
+
+def test_process_stream_names_are_fault_prefixed():
+    assert GilbertElliott(name="x").stream_name == "fault:gilbert_elliott:x"
+    assert PoissonChurn().stream_name == "fault:poisson_churn:main"
+
+
+def test_event_types_registry_is_complete():
+    assert set(EVENT_TYPES) == {
+        "link_flap",
+        "burst_noise",
+        "station_churn",
+        "queue_squeeze",
+        "clocked_move",
+        "gilbert_elliott",
+        "link_flap_process",
+        "poisson_churn",
+    }
+
+
+# ---------------------------------------------------------- serialization
+ROUNDTRIP_EVENTS = [
+    LinkFlap("A", "B", 1.0, 2.0, symmetric=False),
+    BurstNoise(0.0, 5.0, 0.3, receivers=("A", "B")),
+    StationChurn("P", off_at=5.0, on_at=10.0, position=(1.0, 0.0, 0.0),
+                 connect=("B",)),
+    QueueSqueeze("P", capacity=2, start=1.0, end=3.0),
+    ClockedMove("P", at=4.0, position=(0.0, 9.0, 0.0)),
+    GilbertElliott(mean_good_s=8.0, mean_bad_s=2.0, error_rate=0.4,
+                   receivers=("B",), end=50.0, name="g"),
+    LinkFlapProcess(a="A", b="B", mean_up_s=9.0, mean_down_s=1.0,
+                    symmetric=False, name="f"),
+    PoissonChurn(stations=("P",), rate_per_s=0.1, mean_outage_s=4.0),
+]
+
+
+@pytest.mark.parametrize("event", ROUNDTRIP_EVENTS, ids=lambda e: e.kind)
+def test_event_json_roundtrip(event):
+    schedule = FaultSchedule((event,))
+    again = FaultSchedule.from_json(schedule.to_json())
+    assert again.events == (event,)
+
+
+def test_schedule_from_dict_rejects_malformed_payloads():
+    with pytest.raises(ValueError, match="'events' list"):
+        FaultSchedule.from_dict({})
+    with pytest.raises(ValueError, match="'kind'"):
+        FaultSchedule.from_dict({"events": [{"a": "A"}]})
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultSchedule.from_dict({"events": [{"kind": "meteor_strike"}]})
+    with pytest.raises(ValueError, match="bad fields"):
+        FaultSchedule.from_dict({"events": [{"kind": "link_flap", "x": 1}]})
+
+
+def test_schedule_entries_must_be_events():
+    with pytest.raises(TypeError):
+        FaultSchedule(("not-an-event",))
+
+
+# ------------------------------------------------------- schedule helpers
+def test_schedule_container_protocol():
+    flap = LinkFlap("A", "B", 1.0, 2.0)
+    schedule = FaultSchedule.empty().with_events(flap)
+    assert len(schedule) == 1 and bool(schedule) and list(schedule) == [flap]
+    assert not FaultSchedule.empty()
+
+
+def test_effect_kinds_deduplicate_in_order():
+    schedule = FaultSchedule((
+        GilbertElliott(),
+        LinkFlap("A", "B", 1.0, 2.0),
+        BurstNoise(0.0, 1.0, 0.5),
+    ))
+    assert schedule.effect_kinds() == ("burst_noise", "link_flap")
+
+
+def test_station_names_aggregate_every_reference():
+    schedule = FaultSchedule((
+        LinkFlap("A", "B", 1.0, 2.0),
+        StationChurn("P", off_at=5.0, connect=("B", "C")),
+    ))
+    assert schedule.station_names() == ("A", "B", "P", "C")
+
+
+def test_digest_key_tracks_content():
+    one = FaultSchedule((LinkFlap("A", "B", 1.0, 2.0),))
+    same = FaultSchedule((LinkFlap("A", "B", 1.0, 2.0),))
+    other = FaultSchedule((LinkFlap("A", "B", 1.0, 3.0),))
+    assert one.digest_key() == same.digest_key()
+    assert one.digest_key() != other.digest_key()

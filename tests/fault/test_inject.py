@@ -1,0 +1,144 @@
+"""Fault installation: effects apply, restore, and count correctly."""
+
+import pytest
+
+from repro.core.config import RunProfile
+from repro.fault import (
+    BurstNoise,
+    ClockedMove,
+    FaultInstallError,
+    FaultSchedule,
+    LinkFlap,
+    QueueSqueeze,
+    StationChurn,
+)
+from repro.topo.builder import ScenarioBuilder
+
+
+def build_clique(schedule=None, seed=1, medium="graph", **profile_kwargs):
+    """B <-> P1 <-> P2 clique with two UDP uplinks, faults from ``schedule``."""
+    profile = RunProfile(faults=schedule, **profile_kwargs)
+    builder = ScenarioBuilder(seed=seed, medium=medium, profile=profile)
+    builder.add_base("B")
+    builder.add_pad("P1", position=(1.0, 0.0, 0.0))
+    builder.add_pad("P2", position=(0.0, 1.0, 0.0))
+    if medium == "graph":
+        builder.clique("B", "P1", "P2")
+    builder.udp("P1", "B", 16.0)
+    builder.udp("P2", "B", 16.0)
+    return builder.build()
+
+
+def linked(scenario, a, b):
+    port_a = scenario.station(a).mac
+    port_b = scenario.station(b).mac
+    return port_b in scenario.medium.neighbors(port_a)
+
+
+# ----------------------------------------------------------------- wiring
+def test_no_schedule_means_no_injector():
+    assert build_clique().fault_injector is None
+
+
+def test_empty_schedule_means_no_injector():
+    assert build_clique(FaultSchedule.empty()).fault_injector is None
+
+
+def test_unknown_station_is_an_install_error():
+    schedule = FaultSchedule((StationChurn("GHOST", off_at=1.0),))
+    with pytest.raises(FaultInstallError, match="unknown station 'GHOST'"):
+        build_clique(schedule)
+
+
+def test_link_flap_requires_graph_medium():
+    schedule = FaultSchedule((LinkFlap("B", "P1", 1.0, 2.0),))
+    with pytest.raises(FaultInstallError, match="graph medium"):
+        build_clique(schedule, medium="grid")
+
+
+# ---------------------------------------------------------------- effects
+def test_link_flap_drops_then_restores_the_link():
+    schedule = FaultSchedule((LinkFlap("B", "P1", 5.0, 10.0),))
+    scenario = build_clique(schedule)
+    scenario.run(7.0)
+    assert not linked(scenario, "B", "P1")
+    assert not linked(scenario, "P1", "B")
+    assert linked(scenario, "B", "P2")
+    assert scenario.fault_injector.active_count() == 1
+    scenario.run(12.0)
+    assert linked(scenario, "B", "P1")
+    assert scenario.fault_injector.active_count() == 0
+    assert scenario.fault_injector.injected == {"link_flap": 1}
+    assert scenario.fault_injector.recoveries == [("link_flap", 5.0)]
+
+
+def test_asymmetric_flap_only_drops_one_direction():
+    schedule = FaultSchedule((LinkFlap("B", "P1", 5.0, 10.0, symmetric=False),))
+    scenario = build_clique(schedule)
+    scenario.run(7.0)
+    assert not linked(scenario, "B", "P1")
+    assert linked(scenario, "P1", "B")
+
+
+def test_burst_noise_counts_and_recovers():
+    schedule = FaultSchedule((BurstNoise(5.0, 9.0, 0.5),))
+    scenario = build_clique(schedule)
+    scenario.run(7.0)
+    assert scenario.fault_injector.active_count() == 1
+    scenario.run(20.0)
+    assert scenario.fault_injector.injected == {"burst_noise": 1}
+    assert scenario.fault_injector.recoveries == [("burst_noise", 4.0)]
+
+
+def test_queue_squeeze_clamps_then_restores_capacity():
+    schedule = FaultSchedule((QueueSqueeze("P1", capacity=1, start=5.0, end=10.0),))
+    scenario = build_clique(schedule, queue_capacity=8)
+    queue = scenario.station("P1").mac.queue
+    assert queue.capacity == 8
+    scenario.run(7.0)
+    assert queue.capacity == 1
+    scenario.run(12.0)
+    assert queue.capacity == 8
+
+
+def test_station_churn_powers_off_then_restores_links():
+    schedule = FaultSchedule((StationChurn("P1", off_at=5.0, on_at=10.0),))
+    scenario = build_clique(schedule)
+    scenario.run(7.0)
+    station = scenario.station("P1")
+    assert not station.powered
+    scenario.run(12.0)
+    assert station.powered
+    # Detaching forgot the graph edges; power-on must have restored them.
+    assert linked(scenario, "P1", "B") and linked(scenario, "B", "P1")
+    assert linked(scenario, "P1", "P2") and linked(scenario, "P2", "P1")
+    assert scenario.fault_injector.recoveries == [("station_churn", 5.0)]
+
+
+def test_permanent_churn_never_recovers():
+    schedule = FaultSchedule((StationChurn("P1", off_at=5.0),))
+    scenario = build_clique(schedule)
+    scenario.run(20.0)
+    assert not scenario.station("P1").powered
+    assert scenario.fault_injector.active_count() == 1
+    assert scenario.fault_injector.recoveries == []
+
+
+def test_churn_with_connect_rehomes_instead_of_restoring():
+    schedule = FaultSchedule((
+        StationChurn("P1", off_at=5.0, on_at=10.0, connect=("B",)),
+    ))
+    scenario = build_clique(schedule)
+    scenario.run(12.0)
+    assert linked(scenario, "P1", "B")
+    assert not linked(scenario, "P1", "P2")  # old peer not reconnected
+
+
+def test_clocked_move_repositions_at_the_scheduled_time():
+    schedule = FaultSchedule((ClockedMove("P1", at=5.0, position=(9.0, 9.0, 0.0)),))
+    scenario = build_clique(schedule)
+    scenario.run(4.0)
+    assert scenario.station("P1").position == (1.0, 0.0, 0.0)
+    scenario.run(6.0)
+    assert scenario.station("P1").position == (9.0, 9.0, 0.0)
+    assert scenario.fault_injector.injected == {"clocked_move": 1}

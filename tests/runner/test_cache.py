@@ -1,11 +1,18 @@
 """On-disk result cache: round-trips, key sensitivity, corruption safety."""
 
-from repro.runner import Cell, ResultCache, config_hash, run_cells
+from repro.core.config import RunProfile
+from repro.runner import Cell, ResultCache, config_hash, profile_hash, run_cells
 
 
 def _run_one(cache, collect=True):
     cells = [Cell("table9", seed=0, duration=30.0, warmup=5.0)]
     return run_cells(cells, jobs=1, cache=cache, collect_digests=collect)[0]
+
+
+def _default_config(collect=True):
+    """The config hash run_cells uses for a default (pinned) profile."""
+    pinned = RunProfile(sanitize=False, metrics=False)
+    return profile_hash(pinned, collect_digests=collect)
 
 
 def test_round_trip_hits_and_preserves_result(tmp_path):
@@ -40,9 +47,30 @@ def test_key_changes_with_every_cell_and_config_field(tmp_path):
     assert len(keys) == 6
 
 
+def test_profile_hash_separates_fault_and_metrics_sweeps():
+    base = profile_hash(RunProfile(sanitize=False, metrics=False), True)
+    from repro.fault import FaultSchedule, LinkFlap
+
+    faulted = RunProfile(
+        sanitize=False, metrics=False,
+        faults=FaultSchedule((LinkFlap("A", "B", 1.0, 2.0),)),
+    )
+    variants = {
+        profile_hash(RunProfile(sanitize=True, metrics=False), True),
+        profile_hash(RunProfile(sanitize=False, metrics=2.0), True),
+        profile_hash(RunProfile(sanitize=False, metrics=False), False),
+        profile_hash(faulted, True),
+    }
+    assert base not in variants
+    assert len(variants) == 4
+    # An empty schedule normalizes away: same key space as no faults.
+    empty = RunProfile(sanitize=False, metrics=False, faults=FaultSchedule())
+    assert profile_hash(empty, True) == base
+
+
 def test_stale_code_version_misses(tmp_path):
     cache = ResultCache(tmp_path)
-    config = config_hash(sanitize=False, collect_digests=True)
+    config = _default_config()
     fresh = _run_one(cache)
     cell = fresh.cell
     # Same cell under a different source-tree hash must not hit.
@@ -51,7 +79,7 @@ def test_stale_code_version_misses(tmp_path):
 
 def test_corrupt_entry_is_a_miss_not_an_error(tmp_path):
     cache = ResultCache(tmp_path)
-    config = config_hash(sanitize=False, collect_digests=True)
+    config = _default_config()
     fresh = _run_one(cache)
     path = cache._path(cache.key(fresh.cell, config))
     assert path.exists()

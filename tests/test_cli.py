@@ -162,3 +162,55 @@ def test_metrics_out_jsonl_feeds_aggregate(tmp_path, capsys):
 def test_metrics_off_by_default(capsys):
     main(["table9", "--duration", "8", "--warmup", "1"])
     assert "metrics:" not in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------- chaos
+def test_chaos_list_names_every_preset(capsys):
+    assert main(["chaos", "--list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("noise-burst", "churn", "churn-light", "flaky-links"):
+        assert name in out
+
+
+def test_chaos_unknown_preset_returns_2(capsys):
+    assert main(["chaos", "meteor-strike"]) == 2
+    err = capsys.readouterr().err
+    assert "meteor-strike" in err and "noise-burst" in err
+
+
+def test_chaos_without_schedule_returns_2(capsys):
+    assert main(["chaos"]) == 2
+    assert "needs a preset" in capsys.readouterr().err
+
+
+def test_chaos_faults_and_preset_are_mutually_exclusive(capsys, tmp_path):
+    spec = tmp_path / "spec.json"
+    spec.write_text('{"events": []}')
+    assert main(["chaos", "noise-burst", "--faults", str(spec)]) == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_chaos_runs_a_degradation_report(capsys):
+    assert main(["chaos", "noise-burst", "--duration", "40",
+                 "--warmup", "10"]) == 0
+    out = capsys.readouterr().out
+    for protocol in ("macaw", "maca", "csma"):
+        assert protocol in out
+    assert "faults injected:" in out and "burst_noise" in out
+
+
+def test_experiment_accepts_faults_spec_file(tmp_path, capsys):
+    spec = tmp_path / "spec.json"
+    spec.write_text(
+        '{"events": [{"kind": "burst_noise", "start": 2.0, "end": 4.0,'
+        ' "error_rate": 0.3, "receivers": null}]}'
+    )
+    code = main(["table9", "--duration", "8", "--warmup", "1",
+                 "--faults", str(spec)])
+    capsys.readouterr()
+    assert code in (0, 1)  # checks may be noisy under faults at 8 s
+
+
+def test_experiment_rejects_unreadable_faults_spec(capsys, tmp_path):
+    assert main(["table9", "--faults", str(tmp_path / "missing.json")]) == 2
+    assert "cannot read --faults spec" in capsys.readouterr().err

@@ -148,3 +148,18 @@ def test_tcp_stream_built():
     builder.tcp("P", "B", 16.0)
     scenario = builder.build().run(10.0)
     assert scenario.throughput("P-B", warmup=2.0) > 10.0
+
+
+def test_link_rejects_undeclared_stations():
+    builder = ScenarioBuilder(seed=1)
+    builder.add_base("B")
+    with pytest.raises(ValueError, match="unknown station 'P'.*add_pad"):
+        builder.link("B", "P")
+
+
+def test_clique_rejects_undeclared_stations():
+    builder = ScenarioBuilder(seed=1)
+    builder.add_base("B")
+    builder.add_pad("P")
+    with pytest.raises(ValueError, match="unknown station 'Q'"):
+        builder.clique("B", "P", "Q")

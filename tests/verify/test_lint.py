@@ -209,3 +209,54 @@ def test_unrelated_dict_assignment_not_flagged():
 def test_repro107_pragma_waives():
     src = 'print("report")  # repro-lint: allow=REPRO107\n'
     assert codes(src, path="repro/mac/maca.py") == []
+
+
+# ------------------------------------------------------------------ REPRO108
+
+
+def test_fault_module_random_import_flagged():
+    found = codes("import random\n", path="repro/fault/generators.py")
+    assert "REPRO108" in found and "REPRO101" in found
+
+
+def test_fault_module_numpy_random_flagged():
+    src = "import numpy\nx = numpy.random.default_rng()\n"
+    assert "REPRO108" in codes(src, path="repro/fault/inject.py")
+
+
+def test_fault_module_private_randomstreams_flagged():
+    src = "from repro.sim.rng import RandomStreams\ns = RandomStreams(7)\n"
+    assert "REPRO108" in codes(src, path="repro/fault/inject.py")
+
+
+def test_fault_module_foreign_stream_name_flagged():
+    src = 'rng = sim.streams.get("mac:P1")\n'
+    assert "REPRO108" in codes(src, path="repro/fault/inject.py")
+
+
+def test_fault_module_foreign_fstring_stream_flagged():
+    src = 'rng = sim.streams.get(f"mac:{name}")\n'
+    assert "REPRO108" in codes(src, path="repro/fault/inject.py")
+
+
+def test_fault_module_fault_streams_allowed():
+    ok = (
+        'a = sim.streams.get("fault:burst_noise:0")\n'
+        'b = sim.streams.get(f"fault:link_flap:{name}")\n'
+    )
+    assert codes(ok, path="repro/fault/inject.py") == []
+
+
+def test_fault_module_dynamic_stream_name_not_judged():
+    src = "rng = sim.streams.get(proc.stream_name)\n"
+    assert codes(src, path="repro/fault/inject.py") == []
+
+
+def test_non_fault_module_exempt_from_repro108():
+    src = 'rng = sim.streams.get("mac:P1")\n'
+    assert "REPRO108" not in codes(src, path="repro/phy/noise.py")
+
+
+def test_repro108_pragma_waives():
+    src = 'rng = sim.streams.get("mac:P1")  # repro-lint: allow=REPRO108\n'
+    assert "REPRO108" not in codes(src, path="repro/fault/inject.py")

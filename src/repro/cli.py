@@ -14,6 +14,8 @@ Usage::
     macaw-sim verify-trace all
     macaw-sim chaos --list
     macaw-sim chaos noise-burst --duration 300 --metrics
+    macaw-sim analyze src/repro
+    macaw-sim analyze src/repro --format sarif --output analysis.sarif
 
 ``--seeds`` accepts either a count (``--seeds 4`` runs seed..seed+3) or an
 explicit comma-separated list (``--seeds 0,1,2,3``).  ``--jobs N`` fans the
@@ -375,6 +377,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_verify_trace(raw[1:])
     if raw and raw[0] == "chaos":
         return _cmd_chaos(raw[1:])
+    if raw and raw[0] == "analyze":
+        from repro.verify.analysis.cli import main as analysis_main
+
+        return analysis_main(raw[1:])
 
     args = _build_parser().parse_args(raw)
 

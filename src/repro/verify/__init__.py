@@ -8,10 +8,14 @@ Two independent layers keep the reproduction honest:
   replays a :class:`repro.sim.trace.Trace` and flags illegal state
   transitions, CTS-without-RTS, DATA-without-DS, ACK/ESN sequence
   violations, overlapping transmissions and non-monotonic clocks.
-* **Simulation-determinism lint** (:mod:`repro.verify.lint`) — an AST
-  pass over the source tree enforcing the rules that make a single seed
-  reproduce an entire run: no ``random.*`` or wall-clock calls in model
-  code, no mutable default arguments, no mutation of the kernel clock.
+* **Static analysis** (:mod:`repro.verify.analysis`, with
+  :mod:`repro.verify.lint` as its legacy compat shim) — a pluggable
+  two-pass AST engine enforcing the rules that make a single seed
+  reproduce an entire run (no ``random.*`` or wall-clock calls in model
+  code, no mutable default arguments, no mutation of the kernel clock)
+  plus the cross-module contracts: the layer DAG, frozen-value
+  immutability, order-stable iteration and kernel-callback discipline.
+  Run it with ``macaw-sim analyze src/repro``; see DESIGN.md §10.
 
 Sanitized runs are opted into per scenario (``ScenarioBuilder(sanitize=
 True)``), globally (:func:`repro.verify.runtime.force_sanitize` or the

@@ -1,0 +1,10 @@
+"""``python -m repro.verify.analysis`` entry point."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.verify.analysis.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

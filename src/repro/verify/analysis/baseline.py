@@ -1,0 +1,97 @@
+"""Committed finding baselines.
+
+A baseline is a checked-in JSON inventory of *accepted* findings, keyed
+by content fingerprint (``sha256(path, code, stripped line text,
+occurrence index)`` — stable under line renumbering).  CI fails on any
+finding **not** in the baseline, and a companion job asserts the file
+only ever shrinks: debt may be paid down, never silently added.
+
+``--update-baseline`` rewrites the file from the current run;
+``apply_baseline`` splits a run into (new, baselined, stale) where
+*stale* entries no longer match anything and should be deleted.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.verify.analysis.findings import Finding
+
+__all__ = ["Baseline", "BaselineDelta", "apply_baseline"]
+
+_FORMAT = "repro-analysis-baseline/v1"
+
+
+@dataclass
+class Baseline:
+    """The parsed baseline file: fingerprint -> descriptive entry."""
+
+    entries: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            blob = json.loads(Path(path).read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return cls()
+        if blob.get("format") != _FORMAT:
+            raise ValueError(
+                f"{path}: unrecognized baseline format {blob.get('format')!r}"
+            )
+        return cls(entries=dict(blob.get("findings", {})))
+
+    def save(self, path: Path) -> None:
+        blob = {
+            "format": _FORMAT,
+            "findings": {fp: self.entries[fp] for fp in sorted(self.entries)},
+        }
+        Path(path).write_text(
+            json.dumps(blob, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    @classmethod
+    def from_findings(
+        cls, pairs: Sequence[Tuple[Finding, str]]
+    ) -> "Baseline":
+        entries: Dict[str, Dict[str, Any]] = {}
+        for finding, fingerprint in pairs:
+            entries[fingerprint] = {
+                "path": finding.path,
+                "code": finding.code,
+                "message": finding.message,
+            }
+        return cls(entries=entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+@dataclass
+class BaselineDelta:
+    """How a run relates to the committed baseline."""
+
+    new: List[Tuple[Finding, str]] = field(default_factory=list)
+    baselined: List[Tuple[Finding, str]] = field(default_factory=list)
+    stale: List[str] = field(default_factory=list)
+
+
+def apply_baseline(
+    pairs: Sequence[Tuple[Finding, str]], baseline: Baseline
+) -> BaselineDelta:
+    """Split run findings into new / accepted; report unmatched entries."""
+    delta = BaselineDelta()
+    seen = set()
+    for finding, fingerprint in pairs:
+        if fingerprint in baseline:
+            delta.baselined.append((finding, fingerprint))
+            seen.add(fingerprint)
+        else:
+            delta.new.append((finding, fingerprint))
+    delta.stale = sorted(fp for fp in baseline.entries if fp not in seen)
+    return delta

@@ -1,0 +1,338 @@
+"""The two-pass analysis engine.
+
+Pass 1 parses every file once and reduces it to a serializable summary;
+the summaries fold into the whole-tree
+:class:`~repro.verify.analysis.project.ProjectIndex`.  Pass 2 runs the
+selected rule plugins per file against the facts *and* the index, then
+applies ``# repro-lint: allow=`` pragmas and sorts — exactly the legacy
+pipeline, so the :mod:`repro.verify.lint` shim stays byte-identical.
+
+Per-file results are cached keyed on ``(content hash, path, rule
+selection, engine version, project digest)``: an edit that does not
+change any cross-module table re-analyzes only the edited file.  The
+``jobs`` fan-out mirrors :mod:`repro.runner.parallel` — workers receive
+only plain data, output order is input order, and a parallel run is
+byte-identical to a serial one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import multiprocessing
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.verify.analysis.facts import extract_facts
+from repro.verify.analysis.findings import Finding, fingerprint_findings
+from repro.verify.analysis.project import ProjectIndex, build_index
+from repro.verify.analysis.registry import Rule, get_rules, rules_signature
+
+__all__ = [
+    "ENGINE_VERSION",
+    "AnalysisCache",
+    "AnalysisRun",
+    "FileResult",
+    "analyze_source",
+    "analyze_paths",
+    "collect_files",
+]
+
+#: Bumped whenever extraction or rule semantics change; part of every
+#: cache key so stale caches can never resurface old findings.
+ENGINE_VERSION = "1"
+
+_ALLOW_RE = re.compile(r"#\s*repro-lint:\s*allow=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass
+class FileResult:
+    """Per-file outcome: kept findings, pragma-suppressed ones, metadata."""
+
+    path: str
+    findings: List[Finding] = field(default_factory=list)
+    fingerprints: List[str] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    pragma_lines: List[int] = field(default_factory=list)
+    from_cache: bool = False
+
+    def to_blob(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "findings": [f.to_dict() for f in self.findings],
+            "fingerprints": list(self.fingerprints),
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "pragma_lines": list(self.pragma_lines),
+        }
+
+    @classmethod
+    def from_blob(cls, blob: Dict[str, Any]) -> "FileResult":
+        return cls(
+            path=str(blob["path"]),
+            findings=[Finding.from_dict(f) for f in blob["findings"]],
+            fingerprints=[str(fp) for fp in blob["fingerprints"]],
+            suppressed=[Finding.from_dict(f) for f in blob["suppressed"]],
+            pragma_lines=[int(line) for line in blob["pragma_lines"]],
+            from_cache=True,
+        )
+
+
+@dataclass
+class AnalysisRun:
+    """A whole-tree analysis outcome."""
+
+    files: List[FileResult]
+    index: Optional[ProjectIndex] = None
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def findings(self) -> List[Finding]:
+        out: List[Finding] = []
+        for result in self.files:
+            out.extend(result.findings)
+        return out
+
+    @property
+    def fingerprints(self) -> List[Tuple[Finding, str]]:
+        out: List[Tuple[Finding, str]] = []
+        for result in self.files:
+            out.extend(zip(result.findings, result.fingerprints))
+        return out
+
+
+def _allowed_codes(source_lines: Sequence[str], line: int) -> Set[str]:
+    """Rules waived on ``line`` (1-indexed) by a repro-lint pragma."""
+    if not 1 <= line <= len(source_lines):
+        return set()
+    match = _ALLOW_RE.search(source_lines[line - 1])
+    if not match:
+        return set()
+    return {token.strip().upper() for token in match.group(1).split(",")}
+
+
+def _comment_pragma_lines(source: str) -> List[int]:
+    """Lines whose actual COMMENT token is a repro-lint pragma.
+
+    Findings are *suppressed* by a raw-line regex (legacy semantics),
+    but only genuine comments are candidates for ``--fix`` pragma
+    removal — a docstring that merely mentions the pragma syntax must
+    never be rewritten.
+    """
+    lines: List[int] = []
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if (token.type == tokenize.COMMENT
+                    and _ALLOW_RE.search(token.string)):
+                lines.append(token.start[0])
+    except (tokenize.TokenError, IndentationError):
+        pass
+    return lines
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+    project: Optional[ProjectIndex] = None,
+) -> FileResult:
+    """Run the selected rules over one module's source text."""
+    if rules is None:
+        rules = get_rules()
+    try:
+        facts = extract_facts(source, path)
+    except SyntaxError as exc:
+        finding = Finding(path, exc.lineno or 0, exc.offset or 0, "REPRO100",
+                          f"syntax error: {exc.msg}")
+        lines = source.splitlines()
+        fps = [fp for _, fp in fingerprint_findings([finding], lines)]
+        return FileResult(path=path, findings=[finding], fingerprints=fps)
+    raw: List[Finding] = []
+    for rule in rules:
+        raw.extend(rule.run(facts, project))
+    source_lines = source.splitlines()
+    kept: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in raw:
+        allowed = _allowed_codes(source_lines, finding.line)
+        if finding.code in allowed or "ALL" in allowed:
+            suppressed.append(finding)
+        else:
+            kept.append(finding)
+    kept.sort(key=lambda f: (f.line, f.col, f.code))
+    suppressed.sort(key=lambda f: (f.line, f.col, f.code))
+    pragma_lines = _comment_pragma_lines(source)
+    return FileResult(
+        path=path,
+        findings=kept,
+        fingerprints=[fp for _, fp in fingerprint_findings(kept, source_lines)],
+        suppressed=suppressed,
+        pragma_lines=pragma_lines,
+    )
+
+
+def collect_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files and directory trees (``*.py``, sorted, recursive)."""
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    return files
+
+
+# ---------------------------------------------------------------- caching
+
+class AnalysisCache:
+    """On-disk per-file result cache (atomic writes, content-hash keys)."""
+
+    def __init__(self, directory: Path) -> None:
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+
+    def _entry(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> Optional[FileResult]:
+        entry = self._entry(key)
+        try:
+            blob = json.loads(entry.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return FileResult.from_blob(blob)
+
+    def put(self, key: str, result: FileResult) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        entry = self._entry(key)
+        tmp = entry.with_suffix(".tmp")
+        tmp.write_text(
+            json.dumps(result.to_blob(), sort_keys=True), encoding="utf-8"
+        )
+        tmp.replace(entry)
+
+
+def _file_key(path: str, content: bytes, signature: str,
+              project_digest: str) -> str:
+    blob = hashlib.sha256()
+    blob.update(content)
+    blob.update(path.encode("utf-8"))
+    blob.update(signature.encode("utf-8"))
+    blob.update(ENGINE_VERSION.encode("utf-8"))
+    blob.update(project_digest.encode("utf-8"))
+    return blob.hexdigest()
+
+
+# ------------------------------------------------------------- fan-out
+
+def _preferred_context() -> multiprocessing.context.BaseContext:
+    """Fork where available (cheap, inherits the imported tree), else spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _summary_worker(path_str: str) -> Optional[Dict[str, Any]]:
+    """Pass 1: one file's serializable summary (None on read/parse error)."""
+    try:
+        source = Path(path_str).read_text(encoding="utf-8")
+        return extract_facts(source, path_str).summary()
+    except (OSError, SyntaxError):
+        return None
+
+
+def _analyze_worker(
+    payload: Tuple[str, Optional[Tuple[str, ...]], Optional[ProjectIndex]],
+) -> FileResult:
+    """Pass 2: analyze one file (worker-safe: plain-data payload)."""
+    path_str, codes, project = payload
+    rules = get_rules(list(codes) if codes is not None else None)
+    try:
+        source = Path(path_str).read_text(encoding="utf-8")
+    except OSError as exc:
+        finding = Finding(path_str, 0, 0, "REPRO100", f"cannot read file: {exc}")
+        return FileResult(path=path_str, findings=[finding],
+                          fingerprints=[fp for _, fp in
+                                        fingerprint_findings([finding], [])])
+    return analyze_source(source, path_str, rules, project)
+
+
+def analyze_paths(
+    paths: Sequence[Path],
+    rules: Optional[Sequence[Rule]] = None,
+    jobs: int = 1,
+    cache: Optional[AnalysisCache] = None,
+    build_project: bool = True,
+) -> AnalysisRun:
+    """Analyze files/trees with the full two-pass engine.
+
+    ``jobs=N`` fans both passes out over N worker processes; the result
+    is byte-identical to a serial run (output order is input order, and
+    every worker sees the same pinned project index).  ``build_project=
+    False`` skips pass 1 entirely — the legacy single-pass mode the
+    :mod:`repro.verify.lint` shim uses for ad-hoc file lists.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs!r}")
+    if rules is None:
+        rules = get_rules()
+    files = collect_files(paths)
+    file_names = [str(path) for path in files]
+
+    project: Optional[ProjectIndex] = None
+    if build_project:
+        if jobs > 1 and len(file_names) > 1:
+            ctx = _preferred_context()
+            with ctx.Pool(processes=min(jobs, len(file_names))) as pool:
+                summaries = pool.map(_summary_worker, file_names, chunksize=4)
+        else:
+            summaries = [_summary_worker(name) for name in file_names]
+        project = build_index([s for s in summaries if s is not None])
+
+    signature = rules_signature(list(rules))
+    project_digest = project.digest() if project is not None else "none"
+    codes: Optional[Tuple[str, ...]] = tuple(r.code for r in rules)
+
+    results: List[Optional[FileResult]] = [None] * len(file_names)
+    pending: List[Tuple[int, str]] = []
+    keys: Dict[int, str] = {}
+    for index, name in enumerate(file_names):
+        if cache is not None:
+            try:
+                content = Path(name).read_bytes()
+            except OSError:
+                content = b""
+            key = _file_key(name, content, signature, project_digest)
+            keys[index] = key
+            hit = cache.get(key)
+            if hit is not None:
+                results[index] = hit
+                continue
+        pending.append((index, name))
+
+    if pending:
+        payloads = [(name, codes, project) for _, name in pending]
+        if jobs == 1 or len(pending) == 1:
+            fresh = [_analyze_worker(payload) for payload in payloads]
+        else:
+            ctx = _preferred_context()
+            with ctx.Pool(processes=min(jobs, len(pending))) as pool:
+                fresh = pool.map(_analyze_worker, payloads, chunksize=4)
+        for (index, _name), outcome in zip(pending, fresh):
+            results[index] = outcome
+            if cache is not None and index in keys:
+                cache.put(keys[index], outcome)
+
+    final = [result for result in results if result is not None]
+    return AnalysisRun(
+        files=final,
+        index=project,
+        cache_hits=cache.hits if cache is not None else 0,
+        cache_misses=cache.misses if cache is not None else 0,
+    )

@@ -1,0 +1,180 @@
+"""``--fix``: apply the mechanically-safe subset of findings.
+
+Only two fix classes are safe enough to automate, and both are applied
+from a single analysis snapshot (edits are applied bottom-up so line
+numbers computed once stay valid):
+
+* **REPRO105 unused imports** — delete the import statement when every
+  name it binds is unused; rewrite single-line statements dropping only
+  the unused aliases.  Multi-line partial rewrites and lines carrying
+  comments or multiple statements are left alone: a fixer must never
+  guess.
+* **Stale pragmas** — a ``# repro-lint: allow=...`` comment that no
+  longer suppresses any finding (under the *full* rule set) is dead
+  weight that would silently waive future findings; strip it.
+
+Fixing is idempotent: a second run over fixed sources produces zero
+edits (covered by a regression test).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.verify.analysis.engine import FileResult, analyze_source
+from repro.verify.analysis.project import ProjectIndex
+from repro.verify.analysis.registry import get_rules
+
+__all__ = ["FixOutcome", "plan_fixes", "fix_paths"]
+
+_UNUSED_RE = re.compile(r"^'(?P<name>[^']+)' imported but unused$")
+_PRAGMA_STRIP_RE = re.compile(r"\s*#\s*repro-lint:.*$")
+
+
+@dataclass
+class FixOutcome:
+    """One file's fix result."""
+
+    path: str
+    changed: bool
+    removed_imports: int = 0
+    removed_pragmas: int = 0
+
+
+def _bound_name(alias: ast.alias, is_from: bool) -> str:
+    if alias.asname is not None:
+        return alias.asname
+    return alias.name if is_from else alias.name.split(".")[0]
+
+
+def _render_import(node: ast.stmt, kept: List[ast.alias], indent: str) -> str:
+    parts = ", ".join(
+        a.name + (f" as {a.asname}" if a.asname else "") for a in kept
+    )
+    if isinstance(node, ast.ImportFrom):
+        dots = "." * node.level
+        return f"{indent}from {dots}{node.module or ''} import {parts}"
+    return f"{indent}import {parts}"
+
+
+def plan_fixes(source: str, result: FileResult) -> Tuple[Optional[str], int, int]:
+    """Compute the fixed source, or None when nothing applies.
+
+    Returns ``(new_source or None, imports_removed, pragmas_removed)``.
+    """
+    lines = source.splitlines()
+    trailing_newline = source.endswith("\n")
+
+    # Unused-import findings, grouped by the statement line they anchor to.
+    unused_by_line: Dict[int, Set[str]] = {}
+    for finding in result.findings:
+        if finding.code != "REPRO105":
+            continue
+        match = _UNUSED_RE.match(finding.message)
+        if match:
+            unused_by_line.setdefault(finding.line, set()).add(
+                match.group("name")
+            )
+
+    # (start, end, replacement-or-None): None deletes the line range.
+    edits: List[Tuple[int, int, Optional[str]]] = []
+
+    if unused_by_line:
+        try:
+            tree = ast.parse(source)
+        except SyntaxError:
+            tree = None
+        for node in ast.walk(tree) if tree is not None else ():
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            unused = unused_by_line.get(node.lineno)
+            if not unused:
+                continue
+            is_from = isinstance(node, ast.ImportFrom)
+            bound = [_bound_name(a, is_from) for a in node.names]
+            kept = [
+                a for a, name in zip(node.names, bound) if name not in unused
+            ]
+            end = node.end_lineno or node.lineno
+            if not kept:
+                edits.append((node.lineno, end, None))
+                continue
+            line_text = lines[node.lineno - 1]
+            if end != node.lineno or "#" in line_text or ";" in line_text:
+                continue  # partial fix on a complex statement: leave alone
+            indent = line_text[: len(line_text) - len(line_text.lstrip())]
+            edits.append(
+                (node.lineno, end, _render_import(node, kept, indent))
+            )
+
+    # Stale pragmas: allow-comments that suppress nothing any more.
+    suppressed_lines = {f.line for f in result.suppressed}
+    removed_pragmas = 0
+    for pragma_line in result.pragma_lines:
+        if pragma_line in suppressed_lines:
+            continue
+        if any(start <= pragma_line <= end for start, end, _ in edits):
+            continue  # the whole statement is going away anyway
+        text = _PRAGMA_STRIP_RE.sub("", lines[pragma_line - 1])
+        removed_pragmas += 1
+        edits.append(
+            (pragma_line, pragma_line, None if not text.strip() else text)
+        )
+
+    if not edits:
+        return None, 0, 0
+
+    removed_imports = sum(
+        1 for line, _, _ in edits if line in unused_by_line
+    )
+    new_lines = list(lines)
+    for start, end, replacement in sorted(edits, reverse=True):
+        if replacement is None:
+            del new_lines[start - 1:end]
+        else:
+            new_lines[start - 1:end] = [replacement]
+    new_source = "\n".join(new_lines)
+    if trailing_newline and new_source:
+        new_source += "\n"
+    return new_source, removed_imports, removed_pragmas
+
+
+def fix_paths(
+    files: Sequence[Path],
+    results: Sequence[FileResult],
+    project: Optional[ProjectIndex] = None,
+) -> List[FixOutcome]:
+    """Apply fixes in place; returns per-file outcomes (changed or not).
+
+    ``results`` must come from a run over the **full** rule set —
+    otherwise a pragma waiving an unselected rule would look stale.
+    """
+    rules = get_rules()
+    outcomes: List[FixOutcome] = []
+    for path, result in zip(files, results):
+        try:
+            source = Path(path).read_text(encoding="utf-8")
+        except OSError:
+            outcomes.append(FixOutcome(path=str(path), changed=False))
+            continue
+        new_source, n_imports, n_pragmas = plan_fixes(source, result)
+        if new_source is None or new_source == source:
+            outcomes.append(FixOutcome(path=str(path), changed=False))
+            continue
+        # Never ship a fix that breaks the file: re-analyze the rewrite.
+        check = analyze_source(new_source, str(path), rules, project)
+        if any(f.code == "REPRO100" for f in check.findings):
+            outcomes.append(FixOutcome(path=str(path), changed=False))
+            continue
+        Path(path).write_text(new_source, encoding="utf-8")
+        outcomes.append(
+            FixOutcome(
+                path=str(path), changed=True,
+                removed_imports=n_imports, removed_pragmas=n_pragmas,
+            )
+        )
+    return outcomes

@@ -1,0 +1,55 @@
+"""REPRO111: frozen-dataclass mutation.
+
+The run configuration surface — :class:`~repro.core.config.RunProfile`,
+:class:`~repro.core.config.ProtocolConfig`, fault events, timing tables —
+is frozen *so that* a profile hashed into a cache key or a digest cannot
+drift after the fact.  ``object.__setattr__`` pierces that freeze; the
+only sanctioned sites are ``__init__``/``__post_init__`` (normalization
+during construction).  Two checks:
+
+* any ``object.__setattr__(...)`` call outside the construction family;
+* a direct field write ``x.field = ...`` where ``x`` is statically known
+  (annotation or constructor call) to be a ``@dataclass(frozen=True)``
+  type — at runtime this raises ``FrozenInstanceError``, but only on the
+  code path that executes; the analyzer catches it tree-wide.  The
+  frozen-class set is whole-tree when the project index is available,
+  file-local otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.verify.analysis.facts import INIT_FAMILY, ModuleFacts
+from repro.verify.analysis.findings import Finding
+from repro.verify.analysis.project import ProjectIndex
+from repro.verify.analysis.registry import rule
+
+
+@rule("REPRO111", name="frozen-mutation",
+      summary="frozen dataclasses are immutable after construction",
+      requires_project=True)
+def check_frozen_mutation(
+    facts: ModuleFacts, project: Optional[ProjectIndex]
+) -> Iterator[Finding]:
+    for event in facts.call_events:
+        if event.object_setattr and event.enclosing_function not in INIT_FAMILY:
+            yield Finding(
+                facts.path, event.line, event.col, "REPRO111",
+                "object.__setattr__ outside __init__/__post_init__ mutates a"
+                " frozen value; build a new instance with"
+                " dataclasses.replace() / .but() instead",
+            )
+    frozen = set(facts.frozen_classes)
+    if project is not None:
+        frozen |= set(project.frozen_classes)
+    if not frozen:
+        return
+    for write in facts.frozen_writes:
+        if write.class_name in frozen:
+            yield Finding(
+                facts.path, write.line, write.col, "REPRO111",
+                f"direct field write '{write.var}.{write.attr}' on frozen"
+                f" dataclass '{write.class_name}'; frozen values are"
+                " immutable — use dataclasses.replace() / .but()",
+            )

@@ -1,0 +1,76 @@
+"""REPRO103 mutable-default, REPRO105 unused-import.
+
+REPRO105 is re-export aware (the PR 1 pass was not):
+
+* ``from x import y as y`` (and ``import x as x``) is the PEP 484
+  re-export idiom — the redundant alias *states* the intent, so the
+  binding is never "unused";
+* a name imported by the package's ``__init__.py`` *from this module*
+  and listed in that ``__init__``'s ``__all__`` is part of the public
+  API surface — the re-export is the use.  This needs the whole-tree
+  :class:`~repro.verify.analysis.project.ProjectIndex`; in single-file
+  mode the rule degrades to its file-local subset.
+
+``__init__.py`` modules themselves stay exempt: their imports ARE the
+public API.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Set
+
+from repro.verify.analysis.facts import IDENT_RE, ModuleFacts
+from repro.verify.analysis.findings import Finding
+from repro.verify.analysis.project import ProjectIndex, module_fullname
+from repro.verify.analysis.registry import rule
+
+
+@rule("REPRO103", name="mutable-default",
+      summary="no mutable default arguments")
+def check_mutable_defaults(
+    facts: ModuleFacts, project: Optional[ProjectIndex]
+) -> Iterator[Finding]:
+    for event in facts.default_events:
+        if event.literal_kind is not None:
+            yield Finding(
+                facts.path, event.line, event.col, "REPRO103",
+                f"mutable default argument ({event.literal_kind} literal);"
+                " use None and create inside the function",
+            )
+        else:
+            yield Finding(
+                facts.path, event.line, event.col, "REPRO103",
+                f"mutable default argument ({event.call_name}());"
+                " use None and create inside the function",
+            )
+
+
+@rule("REPRO105", name="unused-import",
+      summary="imports must be referenced or deliberately re-exported",
+      requires_project=True)
+def check_unused_imports(
+    facts: ModuleFacts, project: Optional[ProjectIndex]
+) -> Iterator[Finding]:
+    if facts.is_init_module:
+        return
+    string_idents: Set[str] = set()
+    for text in facts.string_constants:
+        if len(text) < 200:  # identifiers, not docstrings
+            string_idents.update(IDENT_RE.findall(text))
+    used = facts.used_names | string_idents
+    fullname = module_fullname(facts.rel)
+    for binding in facts.imports:
+        if binding.name in used:
+            continue
+        if binding.redundant_alias:
+            continue  # `from x import y as y`: the re-export idiom
+        if (
+            project is not None
+            and fullname is not None
+            and (fullname, binding.name) in project.init_reexports
+        ):
+            continue  # re-exported through the package __init__'s __all__
+        yield Finding(
+            facts.path, binding.line, binding.col, "REPRO105",
+            f"'{binding.name}' imported but unused",
+        )

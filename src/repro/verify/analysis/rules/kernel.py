@@ -1,0 +1,75 @@
+"""REPRO104 clock-mutation, REPRO113 callback-discipline.
+
+REPRO104 (ported from the legacy pass) bans ``._now`` assignment outside
+``sim/kernel.py``: event callbacks must never move the simulation clock.
+
+REPRO113 polices the functions that actually *run as* kernel events.
+Pass 1 records every callable handed to ``schedule(delay, cb)`` /
+``at(time, cb)`` / ``call_soon(cb)`` / ``Timer(sim, cb)``; a function
+whose name is registered anywhere in the module is a callback, and its
+body must not:
+
+* call ``sim.run(...)`` — the kernel is not reentrant;
+* rebind ``._now`` — only the kernel moves the clock;
+* schedule at a *constant* absolute time — inside a callback every
+  schedule must derive from ``Simulator.now``, or a replayed run can
+  schedule into its own past.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.verify.analysis.facts import ModuleFacts
+from repro.verify.analysis.findings import Finding
+from repro.verify.analysis.project import ProjectIndex
+from repro.verify.analysis.registry import rule
+
+
+@rule("REPRO104", name="clock-mutation",
+      summary="only the kernel may assign '._now'")
+def check_clock_mutation(
+    facts: ModuleFacts, project: Optional[ProjectIndex]
+) -> Iterator[Finding]:
+    if facts.is_kernel_module:
+        return
+    for line, col, _enclosing in facts.now_assigns:
+        yield Finding(
+            facts.path, line, col, "REPRO104",
+            "assignment to '._now' outside the kernel; event callbacks"
+            " must never move the simulation clock",
+        )
+
+
+@rule("REPRO113", name="callback-discipline",
+      summary="kernel callbacks must not run/rewind/abs-schedule")
+def check_callback_discipline(
+    facts: ModuleFacts, project: Optional[ProjectIndex]
+) -> Iterator[Finding]:
+    callbacks = facts.callback_names
+    if not callbacks:
+        return
+    for event in facts.call_events:
+        if event.enclosing_function not in callbacks:
+            continue
+        if event.sim_run_call:
+            yield Finding(
+                facts.path, event.line, event.col, "REPRO113",
+                f"event callback '{event.enclosing_function}' calls"
+                " Simulator.run(); the kernel is not reentrant — callbacks"
+                " must return to the run loop",
+            )
+        if event.at_constant_time:
+            yield Finding(
+                facts.path, event.line, event.col, "REPRO113",
+                f"event callback '{event.enclosing_function}' schedules at a"
+                " constant absolute time; derive schedule times from"
+                " Simulator.now",
+            )
+    for line, col, enclosing in facts.now_assigns:
+        if enclosing in callbacks:
+            yield Finding(
+                facts.path, line, col, "REPRO113",
+                f"event callback '{enclosing}' rebinds '._now'; only the"
+                " kernel may move the simulation clock",
+            )

@@ -1,0 +1,56 @@
+"""REPRO112: order-sensitive iteration over unordered sets.
+
+Float addition does not associate, and the kernel breaks same-instant
+ties by scheduling order — so any ``for`` over a ``set`` that feeds an
+accumulator or schedules events makes the run depend on Python's hash
+seed and insertion history.  This is exactly the class of bug the PR 2
+``_active`` fix patched by hand (the interference sum was folded in
+set-iteration order); this rule catches the next one mechanically.
+
+Flagged shapes:
+
+* ``for x in <set-expr>:`` whose body contains ``+=``/``-=`` or a
+  ``schedule``/``at``/``call_soon`` call;
+* ``sum(<set-expr>)`` / ``math.fsum(<set-expr>)``, including generator
+  arguments drawing from a set.
+
+``sorted(<set>)`` is the sanctioned fix and is never flagged: sorting
+re-establishes a canonical order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.verify.analysis.facts import ModuleFacts
+from repro.verify.analysis.findings import Finding
+from repro.verify.analysis.project import ProjectIndex
+from repro.verify.analysis.registry import rule
+
+_MESSAGES: Dict[str, str] = {
+    "float-sum": (
+        "sum over an unordered set; float addition is order-sensitive —"
+        " sum a sorted(...) or insertion-ordered sequence instead"
+    ),
+    "accumulation": (
+        "iteration over an unordered set feeds an accumulator; iterate"
+        " sorted(...) or an insertion-ordered sequence so results do not"
+        " depend on set hashing"
+    ),
+    "scheduling": (
+        "iteration over an unordered set schedules events; event order must"
+        " not depend on set hashing — iterate sorted(...) instead"
+    ),
+}
+
+
+@rule("REPRO112", name="order-sensitive-iteration",
+      summary="unordered sets must not feed accumulation or scheduling")
+def check_order_sensitive_iteration(
+    facts: ModuleFacts, project: Optional[ProjectIndex]
+) -> Iterator[Finding]:
+    for event in facts.iteration_events:
+        yield Finding(
+            facts.path, event.line, event.col, "REPRO112",
+            _MESSAGES[event.reason],
+        )

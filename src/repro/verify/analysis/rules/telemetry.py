@@ -1,0 +1,55 @@
+"""REPRO106 private-audibility, REPRO107 ad-hoc-telemetry.
+
+Ported verbatim from the legacy pass.  ``._audible`` stays a named rule
+(rather than folding into REPRO110) because it guards a *performance*
+contract, not just layering: ``Medium.audible()`` is the cached accessor
+the PR 2 link cache depends on.  REPRO107 keeps telemetry in the typed
+:mod:`repro.obs` registry and user-facing output in the CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.verify.analysis.facts import ModuleFacts
+from repro.verify.analysis.findings import Finding
+from repro.verify.analysis.project import ProjectIndex
+from repro.verify.analysis.registry import rule
+
+
+@rule("REPRO106", name="private-audibility",
+      summary="'._audible' is private to repro/phy")
+def check_private_audibility(
+    facts: ModuleFacts, project: Optional[ProjectIndex]
+) -> Iterator[Finding]:
+    if facts.is_phy_module:
+        return
+    for event in facts.attr_events:
+        if event.attr == "_audible":
+            yield Finding(
+                facts.path, event.line, event.col, "REPRO106",
+                "direct '._audible' access outside repro/phy; use the cached"
+                " Medium.audible(sender, receiver) accessor",
+            )
+
+
+@rule("REPRO107", name="ad-hoc-telemetry",
+      summary="telemetry belongs in repro.obs, output in the CLI")
+def check_adhoc_telemetry(
+    facts: ModuleFacts, project: Optional[ProjectIndex]
+) -> Iterator[Finding]:
+    if facts.is_telemetry_module:
+        return
+    for event in facts.call_events:
+        if event.is_print:
+            yield Finding(
+                facts.path, event.line, event.col, "REPRO107",
+                "ad-hoc print() in model code; publish through the repro.obs"
+                " metrics registry or report via the CLI",
+            )
+    for line, col in facts.counter_dicts:
+        yield Finding(
+            facts.path, line, col, "REPRO107",
+            "manual counter dict ('d[k] = d.get(k, 0) + n'); use a"
+            " repro.obs Counter instead",
+        )

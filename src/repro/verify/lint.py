@@ -1,487 +1,46 @@
-"""Simulation-determinism lint: an AST pass with simulator-specific rules.
+"""Protocol-conformance and determinism lint pass (compat shim).
 
-The reproduction's core guarantee is that one integer seed replays an
-entire experiment.  Python makes it easy to break that silently — one
-``random.random()`` or ``time.time()`` in model code and every table is
-seed-dependent in ways no test will catch.  This pass enforces the rules
-mechanically:
+This module is now a thin facade over the pluggable analysis engine in
+:mod:`repro.verify.analysis`; it runs exactly the legacy REPRO101-108
+rule set with the legacy output format and exit codes, so existing
+tooling (``python -m repro.verify.lint src/repro``) keeps working.  New
+code should prefer ``python -m repro.verify.analysis`` / ``macaw-sim
+analyze``, which adds the cross-module REPRO110-113 rules, baselines,
+SARIF output, and parallel analysis.
 
-``REPRO101`` unseeded-randomness
-    No ``import random`` / ``random.*`` and no direct ``numpy.random``
-    use outside :mod:`repro.sim.rng`.  All randomness must flow through
-    ``Simulator.streams`` so that every draw is owned by a named,
-    master-seeded stream.
-``REPRO102`` wall-clock
-    No ``time.time()``, ``time.monotonic()``, ``time.perf_counter()``,
-    ``datetime.now()`` etc. in ``src/repro``: simulated time comes from
-    ``Simulator.now`` only.  Reporting code may annotate a line with
-    ``# repro-lint: allow=REPRO102`` (e.g. the CLI's wall-time printout).
-``REPRO103`` mutable-default
-    No list/dict/set/bytearray literals or constructor calls as function
-    argument defaults (shared mutable state across calls).
-``REPRO104`` clock-mutation
-    No assignment to a ``._now`` attribute outside the kernel: event
-    callbacks must never move the simulation clock.
-``REPRO105`` unused-import
-    Imports that are never referenced (and not re-exported via
-    ``__all__``) — drift that hides real dependencies.
-``REPRO106`` private-audibility
-    No ``._audible`` access outside ``repro/phy``: upper layers must go
-    through ``Medium.audible(sender, receiver)``, the cached public
-    accessor, so the per-pair link cache stays authoritative and hot
-    paths never bypass it.
-``REPRO107`` ad-hoc-telemetry
-    No ``print()`` calls and no manual counter-dict updates
-    (``d[k] = d.get(k, 0) + n``) in ``src/repro`` outside
-    ``repro/obs/`` and ``cli.py``: telemetry belongs in the typed
-    metrics registry (:mod:`repro.obs`), and user-facing output belongs
-    to the CLI.  Reporting entry points (bench, this linter) annotate
-    their output lines with ``# repro-lint: allow=REPRO107``.
-``REPRO108`` fault-randomness
-    Fault-injection code (``repro/fault/``) must draw all randomness
-    from dedicated ``fault:*`` substreams: no ``random`` / ``numpy
-    .random``, no private ``RandomStreams(...)`` universes, and every
-    ``streams.get(...)`` / ``streams.uniform_slots(...)`` with a
-    literal stream name must use a ``fault:``-prefixed name.  Faults
-    that shared protocol or noise streams would silently perturb the
-    clean runs they are compared against.
+The rules (see :mod:`repro.verify.analysis.rules` for the living
+definitions):
 
-Run it as a module::
+``REPRO101`` stdlib-random ban, ``REPRO102`` wall-clock ban,
+``REPRO103`` mutable defaults, ``REPRO104`` clock mutation outside the
+kernel, ``REPRO105`` unused imports, ``REPRO106`` ``._audible`` access
+outside ``repro/phy``, ``REPRO107`` ad-hoc telemetry, ``REPRO108``
+fault-injection stream discipline.
 
-    python -m repro.verify.lint src/repro
-
-Exit status is 0 when clean, 1 when findings were reported, 2 on usage
-or parse errors.  A line can waive specific rules with a trailing
-``# repro-lint: allow=CODE[,CODE...]`` comment (or ``allow=all``).
+Waive a finding on one line with ``# repro-lint: allow=CODE[,CODE...]``
+or ``allow=all``.
 """
 
 from __future__ import annotations
 
-import ast
-import re
 import sys
-from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.verify.analysis.engine import analyze_paths, analyze_source
+from repro.verify.analysis.findings import Finding
+from repro.verify.analysis.registry import LEGACY_RULE_CODES, Rule, get_rules
 
 __all__ = ["Finding", "lint_source", "lint_file", "lint_paths", "main"]
 
-#: Wall-clock callables, as (module alias base, attribute) pairs.
-_WALLCLOCK_TIME_ATTRS = {
-    "time", "monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns",
-    "process_time", "process_time_ns", "time_ns", "localtime", "gmtime",
-}
-_WALLCLOCK_DATETIME_ATTRS = {"now", "utcnow", "today"}
 
-#: Mutable constructor names whose call (or literal) must not be a default.
-_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "deque", "defaultdict"}
-
-_ALLOW_RE = re.compile(r"#\s*repro-lint:\s*allow=([A-Za-z0-9_,\s]+)")
-
-
-@dataclass(frozen=True)
-class Finding:
-    """One lint finding."""
-
-    path: str
-    line: int
-    col: int
-    code: str
-    message: str
-
-    def render(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
-
-
-def _allowed_codes(source_lines: Sequence[str], line: int) -> Set[str]:
-    """Rules waived on ``line`` (1-indexed) by a repro-lint pragma."""
-    if not 1 <= line <= len(source_lines):
-        return set()
-    match = _ALLOW_RE.search(source_lines[line - 1])
-    if not match:
-        return set()
-    return {token.strip().upper() for token in match.group(1).split(",")}
-
-
-class _Visitor(ast.NodeVisitor):
-    def __init__(
-        self,
-        path: str,
-        is_rng_module: bool,
-        is_kernel_module: bool,
-        is_phy_module: bool = False,
-        is_telemetry_module: bool = False,
-        is_fault_module: bool = False,
-    ) -> None:
-        self.path = path
-        self.is_rng_module = is_rng_module
-        self.is_kernel_module = is_kernel_module
-        self.is_phy_module = is_phy_module
-        self.is_telemetry_module = is_telemetry_module
-        self.is_fault_module = is_fault_module
-        self.findings: List[Finding] = []
-        #: Aliases bound to the stdlib ``random`` module.
-        self.random_aliases: Set[str] = set()
-        #: Aliases bound to the ``numpy`` module.
-        self.numpy_aliases: Set[str] = set()
-        #: Aliases bound to the stdlib ``time`` module.
-        self.time_aliases: Set[str] = set()
-        #: Aliases bound to ``datetime`` (module) / ``datetime.datetime``.
-        self.datetime_aliases: Set[str] = set()
-        #: Names bound directly to wall-clock callables via from-imports.
-        self.wallclock_names: Set[str] = set()
-        #: (name, node) for every import binding, for REPRO105.
-        self.import_bindings: List[Tuple[str, ast.stmt]] = []
-        #: Every identifier referenced anywhere (including annotations).
-        self.used_names: Set[str] = set()
-        #: Strings that may name identifiers (__all__, string annotations).
-        self.string_constants: List[str] = []
-
-    # ------------------------------------------------------------- helpers
-    def _report(self, node: ast.AST, code: str, message: str) -> None:
-        self.findings.append(Finding(
-            self.path,
-            getattr(node, "lineno", 0),
-            getattr(node, "col_offset", 0),
-            code,
-            message,
-        ))
-
-    # ------------------------------------------------------------- imports
-    def visit_Import(self, node: ast.Import) -> None:
-        for alias in node.names:
-            bound = alias.asname or alias.name.split(".")[0]
-            root = alias.name.split(".")[0]
-            if root == "random":
-                self.random_aliases.add(bound)
-                self._report(
-                    node, "REPRO101",
-                    "stdlib 'random' is banned in model code; draw from"
-                    " Simulator.streams instead",
-                )
-                if self.is_fault_module:
-                    self._report(
-                        node, "REPRO108",
-                        "fault code must draw only from named 'fault:*'"
-                        " substreams of Simulator.streams",
-                    )
-            elif root == "numpy":
-                self.numpy_aliases.add(bound)
-            elif root == "time":
-                self.time_aliases.add(bound)
-            elif root == "datetime":
-                self.datetime_aliases.add(bound)
-            self.import_bindings.append((bound, node))
-        self.generic_visit(node)
-
-    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        module = node.module or ""
-        root = module.split(".")[0]
-        for alias in node.names:
-            if alias.name == "*":
-                continue
-            bound = alias.asname or alias.name
-            if module == "__future__":
-                continue
-            if root == "random":
-                self._report(
-                    node, "REPRO101",
-                    "stdlib 'random' is banned in model code; draw from"
-                    " Simulator.streams instead",
-                )
-                if self.is_fault_module:
-                    self._report(
-                        node, "REPRO108",
-                        "fault code must draw only from named 'fault:*'"
-                        " substreams of Simulator.streams",
-                    )
-            elif root == "time" and alias.name in _WALLCLOCK_TIME_ATTRS:
-                self.wallclock_names.add(bound)
-            elif root == "datetime" and alias.name in ("datetime", "date"):
-                self.datetime_aliases.add(bound)
-            self.import_bindings.append((bound, node))
-        self.generic_visit(node)
-
-    # ----------------------------------------------------------- name uses
-    def visit_Name(self, node: ast.Name) -> None:
-        if isinstance(node.ctx, ast.Load):
-            self.used_names.add(node.id)
-        self.generic_visit(node)
-
-    def visit_Attribute(self, node: ast.Attribute) -> None:
-        # REPRO106: the audibility predicate is private to the physical
-        # layer; everything above it must use the cached Medium.audible().
-        if node.attr == "_audible" and not self.is_phy_module:
-            self._report(
-                node, "REPRO106",
-                "direct '._audible' access outside repro/phy; use the cached"
-                " Medium.audible(sender, receiver) accessor",
-            )
-        # REPRO101: random.<anything>, np.random.<anything>.
-        base = node.value
-        if isinstance(base, ast.Name):
-            if base.id in self.random_aliases:
-                self._report(
-                    node, "REPRO101",
-                    f"'{base.id}.{node.attr}' bypasses the seeded stream"
-                    " registry (Simulator.streams)",
-                )
-            if (
-                not self.is_rng_module
-                and base.id in self.numpy_aliases
-                and node.attr == "random"
-            ):
-                self._report(
-                    node, "REPRO101",
-                    "direct numpy.random use outside repro.sim.rng; derive a"
-                    " named stream from Simulator.streams",
-                )
-                if self.is_fault_module:
-                    self._report(
-                        node, "REPRO108",
-                        "fault code must draw only from named 'fault:*'"
-                        " substreams of Simulator.streams",
-                    )
-            # REPRO102: time.time(), datetime.now(), ...
-            if base.id in self.time_aliases and node.attr in _WALLCLOCK_TIME_ATTRS:
-                self._report(
-                    node, "REPRO102",
-                    f"wall-clock call '{base.id}.{node.attr}' in simulation"
-                    " code; use Simulator.now",
-                )
-            if (
-                base.id in self.datetime_aliases
-                and node.attr in _WALLCLOCK_DATETIME_ATTRS
-            ):
-                self._report(
-                    node, "REPRO102",
-                    f"wall-clock call '{base.id}.{node.attr}' in simulation"
-                    " code; use Simulator.now",
-                )
-        elif (
-            isinstance(base, ast.Attribute)
-            and isinstance(base.value, ast.Name)
-            and base.value.id in self.datetime_aliases
-            and node.attr in _WALLCLOCK_DATETIME_ATTRS
-        ):
-            # datetime.datetime.now(), datetime.date.today(), ...
-            self._report(
-                node, "REPRO102",
-                f"wall-clock call '{base.value.id}.{base.attr}.{node.attr}'"
-                " in simulation code; use Simulator.now",
-            )
-        self.generic_visit(node)
-
-    def visit_Call(self, node: ast.Call) -> None:
-        if isinstance(node.func, ast.Name) and node.func.id in self.wallclock_names:
-            self._report(
-                node, "REPRO102",
-                f"wall-clock call '{node.func.id}()' in simulation code;"
-                " use Simulator.now",
-            )
-        # REPRO107: ad-hoc print() in model code.
-        if (
-            not self.is_telemetry_module
-            and isinstance(node.func, ast.Name)
-            and node.func.id == "print"
-        ):
-            self._report(
-                node, "REPRO107",
-                "ad-hoc print() in model code; publish through the repro.obs"
-                " metrics registry or report via the CLI",
-            )
-        if self.is_fault_module:
-            self._check_fault_streams(node)
-        self.generic_visit(node)
-
-    # -------------------------------------------------- fault randomness
-    @staticmethod
-    def _stream_name_prefix_ok(arg: ast.expr) -> Optional[bool]:
-        """Whether a stream-name argument starts with ``fault:``.
-
-        Returns None when the name cannot be judged statically (a
-        variable, attribute, call result, or f-string whose leading piece
-        is dynamic) — those are left to runtime and review.
-        """
-        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
-            return arg.value.startswith("fault:")
-        if isinstance(arg, ast.JoinedStr) and arg.values:
-            head = arg.values[0]
-            if isinstance(head, ast.Constant) and isinstance(head.value, str):
-                return head.value.startswith("fault:")
-        return None
-
-    def _check_fault_streams(self, node: ast.Call) -> None:
-        """REPRO108: fault code touches only ``fault:*`` substreams."""
-        func = node.func
-        if isinstance(func, ast.Name) and func.id == "RandomStreams":
-            self._report(
-                node, "REPRO108",
-                "private RandomStreams(...) universe in fault code; use the"
-                " simulator's registry via a 'fault:*' substream",
-            )
-            return
-        if not (
-            isinstance(func, ast.Attribute)
-            and func.attr in ("get", "uniform_slots")
-        ):
-            return
-        owner = func.value
-        owner_is_streams = (
-            (isinstance(owner, ast.Attribute) and owner.attr == "streams")
-            or (isinstance(owner, ast.Name) and owner.id == "streams")
-        )
-        if not owner_is_streams or not node.args:
-            return
-        if self._stream_name_prefix_ok(node.args[0]) is False:
-            self._report(
-                node, "REPRO108",
-                "fault code drawing from a non-'fault:*' stream; faults must"
-                " never share protocol/traffic/noise randomness",
-            )
-
-    # -------------------------------------------------- mutable defaults
-    def _check_defaults(self, node: ast.AST, args: ast.arguments) -> None:
-        for default in list(args.defaults) + [
-            d for d in args.kw_defaults if d is not None
-        ]:
-            if isinstance(default, (ast.List, ast.Dict, ast.Set)):
-                kind = type(default).__name__.lower()
-                self._report(
-                    default, "REPRO103",
-                    f"mutable default argument ({kind} literal); use None"
-                    " and create inside the function",
-                )
-            elif (
-                isinstance(default, ast.Call)
-                and isinstance(default.func, ast.Name)
-                and default.func.id in _MUTABLE_CALLS
-            ):
-                self._report(
-                    default, "REPRO103",
-                    f"mutable default argument ({default.func.id}());"
-                    " use None and create inside the function",
-                )
-
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        self._check_defaults(node, node.args)
-        self.generic_visit(node)
-
-    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
-        self._check_defaults(node, node.args)
-        self.generic_visit(node)
-
-    def visit_Lambda(self, node: ast.Lambda) -> None:
-        self._check_defaults(node, node.args)
-        self.generic_visit(node)
-
-    # -------------------------------------------------- clock mutation
-    def visit_Assign(self, node: ast.Assign) -> None:
-        if not self.is_kernel_module:
-            for target in node.targets:
-                self._check_now_target(target)
-        if not self.is_telemetry_module:
-            self._check_counter_dict(node)
-        self.generic_visit(node)
-
-    def _check_counter_dict(self, node: ast.Assign) -> None:
-        """REPRO107: ``d[k] = d.get(k, 0) + n`` — a hand-rolled counter."""
-        if len(node.targets) != 1:
-            return
-        target = node.targets[0]
-        value = node.value
-        if not isinstance(target, ast.Subscript) or not isinstance(value, ast.BinOp):
-            return
-        if not isinstance(value.op, ast.Add):
-            return
-        for side in (value.left, value.right):
-            if (
-                isinstance(side, ast.Call)
-                and isinstance(side.func, ast.Attribute)
-                and side.func.attr == "get"
-                and len(side.args) == 2
-                and isinstance(side.args[1], ast.Constant)
-                and side.args[1].value == 0
-                and ast.dump(side.func.value) == ast.dump(target.value)
-            ):
-                self._report(
-                    node, "REPRO107",
-                    "manual counter dict ('d[k] = d.get(k, 0) + n'); use a"
-                    " repro.obs Counter instead",
-                )
-                return
-
-    def visit_AugAssign(self, node: ast.AugAssign) -> None:
-        if not self.is_kernel_module:
-            self._check_now_target(node.target)
-        self.generic_visit(node)
-
-    def _check_now_target(self, target: ast.AST) -> None:
-        if isinstance(target, ast.Attribute) and target.attr == "_now":
-            self._report(
-                target, "REPRO104",
-                "assignment to '._now' outside the kernel; event callbacks"
-                " must never move the simulation clock",
-            )
-
-    # --------------------------------------------------------- strings
-    def visit_Constant(self, node: ast.Constant) -> None:
-        if isinstance(node.value, str):
-            self.string_constants.append(node.value)
-        self.generic_visit(node)
-
-
-_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+def _legacy_rules() -> List[Rule]:
+    return get_rules(list(LEGACY_RULE_CODES))
 
 
 def lint_source(source: str, path: str = "<string>") -> List[Finding]:
     """Lint one module's source text; returns findings (possibly empty)."""
-    normalized = path.replace("\\", "/")
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [Finding(path, exc.lineno or 0, exc.offset or 0, "REPRO100",
-                        f"syntax error: {exc.msg}")]
-    visitor = _Visitor(
-        path,
-        is_rng_module=normalized.endswith("sim/rng.py"),
-        is_kernel_module=normalized.endswith("sim/kernel.py"),
-        is_phy_module="/phy/" in normalized or normalized.startswith("phy/"),
-        is_telemetry_module=(
-            "/obs/" in normalized
-            or normalized.startswith("obs/")
-            or normalized.endswith("cli.py")
-        ),
-        is_fault_module="/fault/" in normalized or normalized.startswith("fault/"),
-    )
-    visitor.visit(tree)
-    findings = visitor.findings
-
-    # REPRO105: unused imports.  Names referenced anywhere (including
-    # inside string annotations and __all__) count as used; __init__.py
-    # modules are exempt because their imports ARE the public API.
-    if not normalized.endswith("__init__.py"):
-        string_idents: Set[str] = set()
-        for text in visitor.string_constants:
-            if len(text) < 200:  # identifiers, not docstrings
-                string_idents.update(_IDENT_RE.findall(text))
-        used = visitor.used_names | string_idents
-        for name, node in visitor.import_bindings:
-            if name not in used:
-                findings.append(Finding(
-                    path, node.lineno, node.col_offset, "REPRO105",
-                    f"'{name}' imported but unused",
-                ))
-
-    source_lines = source.splitlines()
-    kept = []
-    for finding in findings:
-        allowed = _allowed_codes(source_lines, finding.line)
-        if finding.code in allowed or "ALL" in allowed:
-            continue
-        kept.append(finding)
-    kept.sort(key=lambda f: (f.line, f.col, f.code))
-    return kept
+    return analyze_source(source, path, _legacy_rules(), project=None).findings
 
 
 def lint_file(path: Path) -> List[Finding]:
@@ -490,15 +49,14 @@ def lint_file(path: Path) -> List[Finding]:
 
 
 def lint_paths(paths: Iterable[Path]) -> List[Finding]:
-    """Lint files and/or directory trees (``*.py``, sorted, recursive)."""
-    findings: List[Finding] = []
-    for path in paths:
-        if path.is_dir():
-            for file in sorted(path.rglob("*.py")):
-                findings.extend(lint_file(file))
-        else:
-            findings.extend(lint_file(path))
-    return findings
+    """Lint files and/or directory trees (``*.py``, sorted, recursive).
+
+    Unlike single-file :func:`lint_source`, this runs the engine's
+    whole-tree pass first, so REPRO105 recognizes names re-exported
+    through a package ``__init__``'s ``__all__``.
+    """
+    run = analyze_paths(list(paths), rules=_legacy_rules(), jobs=1)
+    return run.findings
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

@@ -1,0 +1,129 @@
+"""Baseline round-trips, fingerprint stability, SARIF output."""
+
+import json
+from pathlib import Path
+
+from repro.verify.analysis import (
+    Baseline,
+    analyze_paths,
+    analyze_source,
+    apply_baseline,
+    get_rules,
+)
+from repro.verify.analysis.output import render_sarif
+
+DIRTY = "import time\nt = time.time()\n"
+
+
+def _pairs(source, path="mod.py"):
+    result = analyze_source(source, path, get_rules())
+    return list(zip(result.findings, result.fingerprints))
+
+
+# ------------------------------------------------------------- round trip
+
+
+def test_baseline_round_trip(tmp_path):
+    pairs = _pairs(DIRTY)
+    assert pairs, "fixture should produce findings"
+
+    target = tmp_path / "baseline.json"
+    Baseline.from_findings(pairs).save(target)
+
+    loaded = Baseline.load(target)
+    assert len(loaded) == len(pairs)
+    delta = apply_baseline(pairs, loaded)
+    assert delta.new == [] and len(delta.baselined) == len(pairs)
+    assert delta.stale == []
+
+
+def test_baseline_reports_new_and_stale(tmp_path):
+    target = tmp_path / "baseline.json"
+    Baseline.from_findings(_pairs(DIRTY)).save(target)
+    loaded = Baseline.load(target)
+
+    # The wall-clock call is fixed; a new unused import appears instead.
+    delta = apply_baseline(_pairs("import os\n"), loaded)
+    assert [f.code for f, _ in delta.new] == ["REPRO105"]
+    assert delta.baselined == []
+    assert len(delta.stale) == len(loaded)
+
+
+def test_missing_baseline_file_is_empty(tmp_path):
+    loaded = Baseline.load(tmp_path / "absent.json")
+    assert len(loaded) == 0
+
+
+def test_unknown_baseline_format_rejected(tmp_path):
+    target = tmp_path / "baseline.json"
+    target.write_text(json.dumps({"format": "something-else"}))
+    try:
+        Baseline.load(target)
+    except ValueError as exc:
+        assert "format" in str(exc)
+    else:
+        raise AssertionError("expected ValueError")
+
+
+# ---------------------------------------------------- fingerprint stability
+
+
+def test_fingerprints_stable_under_line_renumbering():
+    before = _pairs(DIRTY)
+    # Prepend lines: positions shift, content does not.
+    shifted = _pairs("# header\n\n" + DIRTY)
+    assert [fp for _, fp in before] == [fp for _, fp in shifted]
+    assert [f.line for f, _ in before] != [f.line for f, _ in shifted]
+
+
+def test_fingerprints_disambiguate_identical_lines():
+    twice = "t = time.time()\nt = time.time()\n"
+    pairs = _pairs("import time\n" + twice)
+    fps = [fp for _, fp in pairs]
+    assert len(fps) == len(set(fps)), "duplicate lines need distinct prints"
+
+
+def test_committed_baseline_matches_current_tree():
+    repo = Path(__file__).resolve().parents[3]
+    committed = Baseline.load(repo / "benchmarks" / "ANALYSIS_baseline.json")
+    run = analyze_paths([repo / "src" / "repro"])
+    delta = apply_baseline(run.fingerprints, committed)
+    assert delta.new == [], "\n".join(f.render() for f, _ in delta.new)
+    assert delta.stale == [], "stale baseline entries; run --update-baseline"
+
+
+# ------------------------------------------------------------------- SARIF
+
+
+def test_sarif_log_shape():
+    pairs = _pairs(DIRTY)
+    log = json.loads(render_sarif(pairs, get_rules()))
+    assert log["version"] == "2.1.0"
+    assert log["$schema"].endswith("sarif-schema-2.1.0.json")
+    (run,) = log["runs"]
+
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-analysis"
+    rule_ids = {r["id"] for r in driver["rules"]}
+    assert {"REPRO101", "REPRO110", "REPRO113"} <= rule_ids
+    for rule in driver["rules"]:
+        assert rule["shortDescription"]["text"]
+
+    assert len(run["results"]) == len(pairs)
+    for result, (finding, fingerprint) in zip(run["results"], pairs):
+        assert result["ruleId"] == finding.code
+        assert result["ruleId"] in rule_ids
+        assert result["message"]["text"] == finding.message
+        (loc,) = result["locations"]
+        region = loc["physicalLocation"]["region"]
+        assert region["startLine"] == finding.line
+        assert region["startColumn"] == finding.col + 1
+        assert result["partialFingerprints"]["reproAnalysis/v1"] == fingerprint
+
+
+def test_sarif_baseline_states():
+    pairs = _pairs(DIRTY)
+    new, old = pairs[:1], pairs[1:]
+    log = json.loads(render_sarif(new, get_rules(), baselined=old))
+    states = [r["baselineState"] for r in log["runs"][0]["results"]]
+    assert states == ["new"] + ["unchanged"] * len(old)

@@ -1,0 +1,127 @@
+"""``--fix``: unused-import removal, stale-pragma stripping, idempotency."""
+
+from pathlib import Path
+
+from repro.verify.analysis import analyze_paths, collect_files
+from repro.verify.analysis.fixes import fix_paths
+
+
+def _fix_tree(root):
+    run = analyze_paths([root])
+    files = collect_files([root])
+    return fix_paths(files, run.files, run.index)
+
+
+def test_wholly_unused_import_statement_deleted(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text("import os\nimport sys\nx = sys.argv\n")
+    outcomes = _fix_tree(tmp_path)
+    assert outcomes[0].changed and outcomes[0].removed_imports == 1
+    assert target.read_text() == "import sys\nx = sys.argv\n"
+
+
+def test_partially_unused_from_import_rewritten(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "from collections import deque, OrderedDict\n"
+        "q = deque()\n"
+    )
+    _fix_tree(tmp_path)
+    assert target.read_text() == "from collections import deque\nq = deque()\n"
+
+
+def test_multiline_partial_import_left_alone(tmp_path):
+    source = (
+        "from collections import (\n"
+        "    deque,\n"
+        "    OrderedDict,\n"
+        ")\n"
+        "q = deque()\n"
+    )
+    target = tmp_path / "mod.py"
+    target.write_text(source)
+    outcomes = _fix_tree(tmp_path)
+    assert not outcomes[0].changed
+    assert target.read_text() == source  # a fixer must never guess
+
+
+def test_import_line_with_comment_left_alone(tmp_path):
+    source = "from os import sep, altsep  # platform separators\nx = sep\n"
+    target = tmp_path / "mod.py"
+    target.write_text(source)
+    _fix_tree(tmp_path)
+    assert target.read_text() == source
+
+
+def test_stale_pragma_stripped(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "x = 1  # repro-lint: allow=REPRO102\n"
+        "y = 2\n"
+    )
+    outcomes = _fix_tree(tmp_path)
+    assert outcomes[0].changed and outcomes[0].removed_pragmas == 1
+    assert target.read_text() == "x = 1\ny = 2\n"
+
+
+def test_live_pragma_kept(tmp_path):
+    source = (
+        "import time\n"
+        "t = time.time()  # repro-lint: allow=REPRO102\n"
+    )
+    target = tmp_path / "mod.py"
+    target.write_text(source)
+    outcomes = _fix_tree(tmp_path)
+    assert not outcomes[0].changed
+    assert target.read_text() == source
+
+
+def test_comment_only_pragma_line_deleted(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "# repro-lint: allow=REPRO101\n"
+        "x = 1\n"
+    )
+    _fix_tree(tmp_path)
+    assert target.read_text() == "x = 1\n"
+
+
+def test_fix_is_idempotent(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "import os\n"
+        "from collections import deque, OrderedDict\n"
+        "q = deque()  # repro-lint: allow=REPRO102\n"
+        "y = 2  # repro-lint: allow=all\n"
+    )
+    first = _fix_tree(tmp_path)
+    assert first[0].changed
+    after_first = target.read_text()
+
+    second = _fix_tree(tmp_path)
+    assert not second[0].changed
+    assert target.read_text() == after_first
+
+
+def test_fixed_file_parses_and_is_cleaner(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text("import os\nimport sys\n")
+    _fix_tree(tmp_path)
+    run = analyze_paths([tmp_path])
+    assert run.findings == []
+    assert target.read_text() == ""
+
+
+def test_repro_tree_has_nothing_to_fix():
+    repo = Path(__file__).resolve().parents[3]
+    src = repo / "src" / "repro"
+    run = analyze_paths([src])
+    files = collect_files([src])
+    # Plan only — never write into the source tree from a test.
+    from repro.verify.analysis.fixes import plan_fixes
+
+    for path, result in zip(files, run.files):
+        new_source, _, _ = plan_fixes(
+            path.read_text(encoding="utf-8"), result
+        )
+        assert new_source is None, f"unexpected fix available in {path}"

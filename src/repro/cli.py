@@ -142,6 +142,13 @@ def _add_runner_options(parser: argparse.ArgumentParser) -> None:
         "(implies --metrics; aggregate sweeps with "
         "'python -m repro.obs.aggregate DIR/*.jsonl')",
     )
+    parser.add_argument(
+        "--queue", default=None, metavar="BACKEND",
+        help="event-queue backend: 'heap' (default), 'wheel', or "
+        "'wheel:WIDTH' with an explicit bucket width in seconds; "
+        "results are byte-identical per seed, only speed differs "
+        "($REPRO_QUEUE sets the ambient default)",
+    )
     _add_fault_options(parser)
 
 
@@ -422,10 +429,15 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     # The one profile of the invocation: it flows through run_cells into
     # every cell, serially or across the worker pool.
-    profile = RunProfile(
-        metrics=metrics_interval if metrics_on else None,
-        faults=schedule,
-    )
+    try:
+        profile = RunProfile(
+            metrics=metrics_interval if metrics_on else None,
+            faults=schedule,
+            queue=args.queue,
+        )
+    except ValueError as exc:
+        print(f"macaw-sim: {exc}", file=sys.stderr)
+        return 2
 
     cache = (
         ResultCache(args.cache_dir)

@@ -131,6 +131,11 @@ class Medium:
         #: because every cached port is kept alive by the ports list or an
         #: in-flight transmission, and both attach and detach invalidate.
         self._audible_cache: Dict[Tuple[int, int], bool] = {}
+        #: Per-sender hearer list (ports audible from the sender, in attach
+        #: order), derived from the pairwise memo above and invalidated with
+        #: it.  :meth:`transmit` iterates this instead of probing the
+        #: pairwise cache once per attached port per frame.
+        self._audible_from: Dict[int, List[ReceiverPort]] = {}
         #: Statistics: frames delivered cleanly / corrupted, per medium.
         self.clean_deliveries = 0
         self.corrupt_deliveries = 0
@@ -218,6 +223,7 @@ class Medium:
         automatically.  Subclasses with extra caches extend this.
         """
         self._audible_cache.clear()
+        self._audible_from.clear()
 
     # ------------------------------------------------------------ subclasses
     def _audible(self, sender: ReceiverPort, receiver: ReceiverPort) -> bool:
@@ -312,44 +318,56 @@ class Medium:
             if other is not tx and sender in other.receptions:
                 other.receptions[sender] = True  # corrupted
 
-        # Start receptions at every audible port and re-check interference.
-        # The audibility memo and carrier counter are inlined here (see
-        # audible()/_carrier_up()): this loop runs for every attached port
-        # on every frame.
-        audible_cache = self._audible_cache
+        # Start receptions at every audible port.  The hearer list is cached
+        # per sender in attach order (so callback order matches the port
+        # list) and rebuilt from the pairwise memo after any topology change.
         sender_id = id(sender)
+        hearers = self._audible_from.get(sender_id)
+        if hearers is None:
+            audible_cache = self._audible_cache
+            hearers = []
+            for port in self._ports:
+                if port is sender:
+                    continue
+                key = (sender_id, id(port))
+                hearable = audible_cache.get(key)
+                if hearable is None:
+                    hearable = audible_cache[key] = self._audible(sender, port)
+                if hearable:
+                    hearers.append(port)
+            self._audible_from[sender_id] = hearers
         memo: Dict[ReceiverPort, Any] = {}
         transmitting = self._transmitting
         carrier_count = self._carrier_count
         receptions = tx.receptions
-        for port in self._ports:
-            if port is sender:
-                continue
-            key = (sender_id, id(port))
-            hearable = audible_cache.get(key)
-            if hearable is None:
-                hearable = audible_cache[key] = self._audible(sender, port)
-            if hearable:
-                corrupted = port in transmitting
-                if not corrupted and concurrent and not self._new_tx_clean(
-                    tx, port, concurrent, memo
-                ):
-                    corrupted = True
-                receptions[port] = corrupted
-                count = carrier_count.get(port)
-                if count is not None:
-                    carrier_count[port] = count + 1
-                    if count == 0:
-                        port.on_carrier(True)
-            # The new signal may destroy receptions already in progress at
-            # this port — including when it is itself below the reception
-            # threshold there ("the sum of the other signals" counts
-            # sub-threshold interferers too).
-            for other in concurrent:
-                if other.receptions.get(port) is False and not self._reception_survives(
-                    other, port, tx, concurrent, memo
-                ):
-                    other.receptions[port] = True
+        for port in hearers:
+            corrupted = port in transmitting
+            if not corrupted and concurrent and not self._new_tx_clean(
+                tx, port, concurrent, memo
+            ):
+                corrupted = True
+            receptions[port] = corrupted
+            count = carrier_count.get(port)
+            if count is not None:
+                carrier_count[port] = count + 1
+                if count == 0:
+                    port.on_carrier(True)
+        if concurrent:
+            # The new signal may destroy receptions already in progress —
+            # including at ports where it is itself below the reception
+            # threshold ("the sum of the other signals" counts sub-threshold
+            # interferers too), so this pass visits every attached port.
+            # The interference hooks are pure functions of topology and the
+            # per-transmit memo, so running this after (rather than
+            # interleaved with) the reception starts changes nothing.
+            for port in self._ports:
+                if port is sender:
+                    continue
+                for other in concurrent:
+                    if other.receptions.get(port) is False and not self._reception_survives(
+                        other, port, tx, concurrent, memo
+                    ):
+                        other.receptions[port] = True
 
         # Priority -1: at a time tie, receivers learn of the frame's end
         # before any of their own timers fire (see EventHandle docs).

@@ -1,23 +1,33 @@
 """Engine micro-benchmarks with a committed JSON baseline.
 
-Measures the simulator machinery itself — bare kernel event throughput
-plus two saturated MACAW cells — and compares events/sec against the
-committed ``benchmarks/BENCH_engine.json``:
+Measures the simulator machinery itself — bare kernel event throughput,
+a cancel-dominated timer workload, and three saturated MACAW cells —
+across every registered event-queue backend, and compares events/sec
+against the committed ``benchmarks/BENCH_engine.json``:
 
-* ``python -m repro.runner.bench`` runs the benches and prints a table;
-* ``--write`` refreshes the baseline in place (run on a quiet machine);
-* ``--check`` fails (exit 1) when any bench's events/sec falls more than
-  ``tolerance`` (default 25%) below the baseline — the CI regression
-  gate.  The benches run with metrics off, so ``--check`` is also the
-  metrics-off overhead gate: the observability hook costs one
-  ``is not None`` branch per fired event when disabled.
+* ``python -m repro.runner.bench`` runs the benches on one backend
+  (``--queue``, default heap) and prints a table;
+* ``--write`` refreshes the baseline in place (run on a quiet machine):
+  every registered backend gets its own section under ``backends``, and
+  the heap numbers are mirrored into the legacy ``benchmarks`` block;
+* ``--check`` re-runs the matrix and fails (exit 1) when any bench on
+  any backend falls more than ``tolerance`` (default 25%) below its own
+  committed section — the CI regression gate.  The benches run with
+  metrics off, so ``--check`` is also the metrics-off overhead gate.
 * ``--overhead`` times the six-pad cell with metrics off vs. on
   (1 s cadence) and verifies both runs fire identical event counts —
   the determinism contract measured, not assumed.
+* ``--profile FILE`` runs the single-backend table under cProfile and
+  dumps the stats to FILE (inspect with ``python -m pstats FILE``).
+
+Each bench row keeps the *best* wall time (least interrupted — the
+number the events/sec figure and the gate use) and the *median* across
+repeats (robust to one noisy neighbour; a large best/median gap flags an
+unquiet machine, not a code change).
 
 The baseline file also keeps a frozen ``pre_pr`` section: the numbers the
-engine produced before the performance PR, kept so the speedup claim
-stays auditable.  ``--write`` never touches it.
+engine produced before the first performance PR, kept so the speedup
+claim stays auditable.  ``--write`` never touches it.
 
 Wall-clock timing here is intentional and exempt from the determinism
 lint (REPRO102): benches measure the host, not the simulation.
@@ -27,12 +37,15 @@ from __future__ import annotations
 
 import argparse
 import json
+import statistics
 import sys
 import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.sim.kernel import Simulator
+from repro.sim.queues import queue_names
+from repro.sim.timers import Timer
 
 #: Relative events/sec drop that fails ``--check`` (0.25 = 25% slower).
 DEFAULT_TOLERANCE = 0.25
@@ -50,9 +63,9 @@ def default_baseline_path() -> Path:
 
 # --------------------------------------------------------------------- benches
 
-def _bench_kernel_chain() -> int:
+def _bench_kernel_chain(queue: Optional[str] = None) -> int:
     """Schedule-and-fire cost of the bare event loop (50k chained events)."""
-    sim = Simulator()
+    sim = Simulator(queue=queue)
 
     def chain(n: int) -> None:
         if n:
@@ -63,48 +76,106 @@ def _bench_kernel_chain() -> int:
     return sim.events_fired
 
 
-def _bench_single_stream() -> int:
+def _bench_timer_cancel(queue: Optional[str] = None) -> int:
+    """Cancel-dominated churn: 10k far-horizon timers rearmed 40 times.
+
+    The MACAW-shaped worst case for a heap: nearly every operation is a
+    rearm of a live far-future timer, so the pending set stays large
+    while dead entries pile up and every push pays a full-depth sift.
+    A wheel backend turns each rearm into an O(1) bucket append.  Fired
+    events are deliberately scarce — the returned count is the number of
+    *rearm operations*, which both backends perform identically.
+    """
+    sim = Simulator(queue=queue)
+    timers = [Timer(sim, lambda: None) for _ in range(10_000)]
+    ops = 0
+
+    def rearm_round(rounds: int) -> None:
+        nonlocal ops
+        for index, timer in enumerate(timers):
+            timer.start(5.0 + (index % 7) * 0.9)
+        ops += len(timers)
+        if rounds:
+            sim.schedule(0.05, rearm_round, rounds - 1)
+
+    rearm_round(40)
+    sim.run(until=3.0)  # horizon before any expiry: pure rearm traffic
+    return ops
+
+
+def _bench_single_stream(queue: Optional[str] = None) -> int:
     """One saturated MACAW stream, 100 s simulated."""
     from repro.topo.figures import single_stream_cell
 
-    scenario = single_stream_cell(protocol="macaw", seed=1).build().run(100.0)
-    return scenario.sim.events_fired
+    builder = single_stream_cell(protocol="macaw", seed=1)
+    builder.queue = queue
+    return builder.build().run(100.0).sim.events_fired
 
 
-def _bench_six_pad() -> int:
+def _bench_six_pad(queue: Optional[str] = None) -> int:
     """The contended six-pad MACAW cell of Figure 3, 100 s simulated."""
     from repro.topo.figures import fig3_six_pads
 
-    scenario = fig3_six_pads(protocol="macaw", seed=1).build().run(100.0)
-    return scenario.sim.events_fired
+    builder = fig3_six_pads(protocol="macaw", seed=1)
+    builder.queue = queue
+    return builder.build().run(100.0).sim.events_fired
 
 
-BENCHES: List[Tuple[str, Callable[[], int]]] = [
+def _bench_office_cell(queue: Optional[str] = None) -> int:
+    """The large office cell of Figure 11 (Table 11 topology), 60 s simulated."""
+    from repro.topo.figures import fig11_office
+
+    builder = fig11_office(protocol="macaw", seed=1)
+    builder.queue = queue
+    return builder.build().run(60.0).sim.events_fired
+
+
+BENCHES: List[Tuple[str, Callable[[Optional[str]], int]]] = [
     ("kernel_chain", _bench_kernel_chain),
+    ("timer_cancel", _bench_timer_cancel),
     ("single_stream_cell", _bench_single_stream),
     ("six_pad_cell", _bench_six_pad),
+    ("office_cell", _bench_office_cell),
 ]
 
 
-def run_benches(repeats: int = DEFAULT_REPEATS) -> Dict[str, Dict[str, float]]:
-    """Run every bench ``repeats`` times; keep each bench's best wall time."""
+def _timed_rows(
+    runs: List[Tuple[str, Callable[[], int]]], repeats: int
+) -> Dict[str, Dict[str, float]]:
+    """Run each labelled thunk ``repeats`` times; best + median wall per row."""
     results: Dict[str, Dict[str, float]] = {}
-    for name, fn in BENCHES:
-        best: Optional[float] = None
+    for name, fn in runs:
+        walls: List[float] = []
         events = 0
         for _ in range(max(1, repeats)):
             started = time.perf_counter()  # repro-lint: allow=REPRO102 (bench)
             events = fn()
-            wall = time.perf_counter() - started  # repro-lint: allow=REPRO102
-            if best is None or wall < best:
-                best = wall
-        assert best is not None
+            walls.append(time.perf_counter() - started)  # repro-lint: allow=REPRO102
+        best = min(walls)
         results[name] = {
             "events": events,
             "wall_s": round(best, 4),
+            "median_s": round(statistics.median(walls), 4),
             "events_per_sec": round(events / best, 1),
         }
     return results
+
+
+def run_benches(
+    repeats: int = DEFAULT_REPEATS, queue: Optional[str] = None
+) -> Dict[str, Dict[str, float]]:
+    """Run every bench on one backend; keep each bench's best wall time."""
+    return _timed_rows(
+        [(name, lambda fn=fn: fn(queue)) for name, fn in BENCHES], repeats
+    )
+
+
+def run_bench_matrix(
+    repeats: int = DEFAULT_REPEATS, backends: Optional[List[str]] = None
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """The full benches × backends grid (default: every registered backend)."""
+    names = backends if backends is not None else queue_names()
+    return {name: run_benches(repeats=repeats, queue=name) for name in names}
 
 
 def measure_metrics_overhead(repeats: int = DEFAULT_REPEATS) -> Dict[str, Dict[str, float]]:
@@ -120,22 +191,13 @@ def measure_metrics_overhead(repeats: int = DEFAULT_REPEATS) -> Dict[str, Dict[s
         builder.metrics = metrics
         return builder.build().run(100.0).sim.events_fired
 
-    results: Dict[str, Dict[str, float]] = {}
-    for name, metrics in (("metrics_off", False), ("metrics_on", 1.0)):
-        best: Optional[float] = None
-        events = 0
-        for _ in range(max(1, repeats)):
-            started = time.perf_counter()  # repro-lint: allow=REPRO102 (bench)
-            events = run(metrics)
-            wall = time.perf_counter() - started  # repro-lint: allow=REPRO102
-            if best is None or wall < best:
-                best = wall
-        assert best is not None
-        results[name] = {
-            "events": events,
-            "wall_s": round(best, 4),
-            "events_per_sec": round(events / best, 1),
-        }
+    results = _timed_rows(
+        [
+            ("metrics_off", lambda: run(False)),
+            ("metrics_on", lambda: run(1.0)),
+        ],
+        repeats,
+    )
     if results["metrics_off"]["events"] != results["metrics_on"]["events"]:
         raise RuntimeError(
             "metrics instrumentation changed the event stream: "
@@ -152,15 +214,25 @@ def load_baseline(path: Path) -> Dict:
         return json.load(handle)
 
 
-def write_baseline(path: Path, results: Dict[str, Dict[str, float]]) -> None:
-    """Write the measured baseline, preserving any frozen ``pre_pr`` block."""
+def write_baseline(
+    path: Path,
+    results: Dict[str, Dict[str, float]],
+    backends: Optional[Dict[str, Dict[str, Dict[str, float]]]] = None,
+) -> None:
+    """Write the measured baseline, preserving any frozen ``pre_pr`` block.
+
+    ``results`` fills the legacy ``benchmarks`` block (the heap numbers);
+    ``backends`` adds the per-backend matrix the ``--check`` gate walks.
+    """
     data: Dict = {
-        "schema": 1,
+        "schema": 2,
         "tolerance": DEFAULT_TOLERANCE,
         "note": (
-            "Engine micro-benchmark baseline. 'benchmarks' is refreshed by "
-            "`python -m repro.runner.bench --write`; 'pre_pr' is the frozen "
-            "pre-optimization reference and is never rewritten."
+            "Engine micro-benchmark baseline. 'benchmarks' mirrors the heap "
+            "backend and 'backends' holds one section per event-queue "
+            "backend; both are refreshed by `python -m repro.runner.bench "
+            "--write`. 'pre_pr' is the frozen pre-optimization reference "
+            "and is never rewritten."
         ),
     }
     if path.exists():
@@ -173,6 +245,8 @@ def write_baseline(path: Path, results: Dict[str, Dict[str, float]]) -> None:
         if "tolerance" in previous:
             data["tolerance"] = previous["tolerance"]
     data["benchmarks"] = results
+    if backends is not None:
+        data["backends"] = backends
     path.parent.mkdir(parents=True, exist_ok=True)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(data, handle, indent=2, sort_keys=True)
@@ -180,12 +254,22 @@ def write_baseline(path: Path, results: Dict[str, Dict[str, float]]) -> None:
 
 
 def check_against(
-    baseline: Dict, results: Dict[str, Dict[str, float]]
+    baseline: Dict,
+    results: Dict[str, Dict[str, float]],
+    backend: Optional[str] = None,
 ) -> List[str]:
-    """Regression messages; empty when every bench is within tolerance."""
+    """Regression messages; empty when every bench is within tolerance.
+
+    With ``backend`` given, results are compared against that backend's
+    section of the committed matrix (falling back to the legacy
+    ``benchmarks`` block when the section does not exist yet).
+    """
     tolerance = float(baseline.get("tolerance", DEFAULT_TOLERANCE))
     committed = baseline.get("benchmarks", {})
+    if backend is not None:
+        committed = baseline.get("backends", {}).get(backend, committed)
     failures: List[str] = []
+    label = f"[{backend}] " if backend else ""
     for name, current in results.items():
         reference = committed.get(name)
         if reference is None:
@@ -193,19 +277,24 @@ def check_against(
         floor = reference["events_per_sec"] * (1.0 - tolerance)
         if current["events_per_sec"] < floor:
             failures.append(
-                f"{name}: {current['events_per_sec']:,.0f} events/sec is below "
-                f"{floor:,.0f} (baseline {reference['events_per_sec']:,.0f} "
-                f"- {tolerance:.0%} tolerance)"
+                f"{label}{name}: {current['events_per_sec']:,.0f} events/sec "
+                f"is below {floor:,.0f} (baseline "
+                f"{reference['events_per_sec']:,.0f} - {tolerance:.0%} "
+                "tolerance)"
             )
     return failures
 
 
 def _render(results: Dict[str, Dict[str, float]]) -> str:
-    lines = [f"{'bench':24} {'events':>10} {'wall (s)':>10} {'events/sec':>12}"]
+    lines = [
+        f"{'bench':24} {'events':>10} {'wall (s)':>10} {'median (s)':>11} "
+        f"{'events/sec':>12}"
+    ]
     for name, row in results.items():
+        median = row.get("median_s", row["wall_s"])
         lines.append(
             f"{name:24} {row['events']:>10,.0f} {row['wall_s']:>10.3f} "
-            f"{row['events_per_sec']:>12,.0f}"
+            f"{median:>11.3f} {row['events_per_sec']:>12,.0f}"
         )
     return "\n".join(lines)
 
@@ -223,19 +312,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--repeats", type=int, default=DEFAULT_REPEATS,
         help="timed repeats per bench; the best run is kept",
     )
+    parser.add_argument(
+        "--queue", default=None, metavar="BACKEND",
+        help="event-queue backend for a plain run or --profile "
+        "(default heap; --write/--check always run every backend)",
+    )
     mode = parser.add_mutually_exclusive_group()
     mode.add_argument(
         "--write", action="store_true",
-        help="refresh the baseline file with this machine's numbers",
+        help="refresh the baseline file with this machine's numbers "
+        "(full backend matrix)",
     )
     mode.add_argument(
         "--check", action="store_true",
-        help="fail if any bench's events/sec regresses beyond tolerance",
+        help="fail if any bench on any backend regresses beyond tolerance",
     )
     mode.add_argument(
         "--overhead", action="store_true",
         help="time the six-pad cell with metrics off vs on and verify "
         "identical event counts",
+    )
+    mode.add_argument(
+        "--profile", default=None, metavar="FILE",
+        help="run the single-backend table under cProfile and dump "
+        "stats to FILE (inspect with 'python -m pstats FILE')",
     )
     args = parser.parse_args(argv)
 
@@ -252,27 +352,48 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"(identical {overhead['metrics_off']['events']:,.0f} events)")
         return 0
 
-    path = args.baseline if args.baseline is not None else default_baseline_path()
-    results = run_benches(repeats=args.repeats)
-    print(_render(results))  # repro-lint: allow=REPRO107 (bench CLI output)
+    if args.profile is not None:
+        import cProfile
 
-    if args.write:
-        write_baseline(path, results)
-        print(f"\nbaseline written to {path}")  # repro-lint: allow=REPRO107 (bench CLI output)
+        profiler = cProfile.Profile()
+        profiler.enable()
+        results = run_benches(repeats=args.repeats, queue=args.queue)
+        profiler.disable()
+        profiler.dump_stats(args.profile)
+        print(_render(results))  # repro-lint: allow=REPRO107 (bench CLI output)
+        print(f"\nprofile stats written to {args.profile}")  # repro-lint: allow=REPRO107 (bench CLI output)
         return 0
-    if args.check:
+
+    path = args.baseline if args.baseline is not None else default_baseline_path()
+
+    if args.write or args.check:
+        matrix = run_bench_matrix(repeats=args.repeats)
+        for backend, results in matrix.items():
+            print(f"-- backend: {backend}")  # repro-lint: allow=REPRO107 (bench CLI output)
+            print(_render(results))  # repro-lint: allow=REPRO107 (bench CLI output)
+            print()  # repro-lint: allow=REPRO107 (bench CLI output)
+        if args.write:
+            write_baseline(path, matrix.get("heap", {}), backends=matrix)
+            print(f"baseline written to {path}")  # repro-lint: allow=REPRO107 (bench CLI output)
+            return 0
         try:
             baseline = load_baseline(path)
         except OSError as exc:
-            print(f"\ncannot read baseline {path}: {exc}", file=sys.stderr)  # repro-lint: allow=REPRO107 (bench CLI output)
+            print(f"cannot read baseline {path}: {exc}", file=sys.stderr)  # repro-lint: allow=REPRO107 (bench CLI output)
             return 2
-        failures = check_against(baseline, results)
+        failures: List[str] = []
+        for backend, results in matrix.items():
+            failures.extend(check_against(baseline, results, backend=backend))
         if failures:
-            print("\nREGRESSION:", file=sys.stderr)  # repro-lint: allow=REPRO107 (bench CLI output)
+            print("REGRESSION:", file=sys.stderr)  # repro-lint: allow=REPRO107 (bench CLI output)
             for message in failures:
                 print(f"  {message}", file=sys.stderr)  # repro-lint: allow=REPRO107 (bench CLI output)
             return 1
-        print("\nall benches within tolerance of the committed baseline")  # repro-lint: allow=REPRO107 (bench CLI output)
+        print("all benches within tolerance of the committed baseline")  # repro-lint: allow=REPRO107 (bench CLI output)
+        return 0
+
+    results = run_benches(repeats=args.repeats, queue=args.queue)
+    print(_render(results))  # repro-lint: allow=REPRO107 (bench CLI output)
     return 0
 
 

@@ -2,14 +2,25 @@
 
 An :class:`EventHandle` is returned by :meth:`repro.sim.kernel.Simulator.at`
 and :meth:`repro.sim.kernel.Simulator.schedule`.  Cancellation is lazy: the
-heap entry stays in the queue but is skipped when popped.  This keeps both
-scheduling and cancellation O(log n) / O(1) and avoids the cost of heap
+queue entry stays in place but is skipped when it surfaces.  This keeps both
+scheduling and cancellation O(log n) / O(1) and avoids the cost of queue
 surgery, which matters because MAC state machines cancel timers constantly.
 
-The kernel stores ``(time, priority, seq, handle)`` tuples in its heap
-rather than the handles themselves, so sift comparisons run on C-level
-tuples; :meth:`EventHandle.__lt__` is kept only for code that orders
-handles directly.
+The queue backends store ``(time, priority, seq, handle)`` tuples rather
+than the handles themselves, so sift comparisons run on C-level tuples;
+:meth:`EventHandle.__lt__` is kept only for code that orders handles
+directly.  ``seq`` doubles as a staleness stamp: a backend with in-place
+reschedule gives the handle a fresh ``seq`` (via :func:`next_seq`) and the
+entry carrying the old one is dead where it lies.
+
+**Pooling.**  Handles are the dominant allocation in long runs — every
+frame arms or rearms a timeout.  A creator that promises never to touch a
+handle after it fires or is cancelled (in tree: :class:`repro.sim.timers
+.Timer`, which owns its handle exclusively) passes ``pooled=True``; the
+kernel then recycles the object through a per-simulator free list,
+re-initializing it with :meth:`EventHandle._reinit` instead of paying an
+allocation.  Pooling never changes ``seq`` consumption or firing order —
+it is invisible to ``events_fired`` and trace digests.
 """
 
 from __future__ import annotations
@@ -19,8 +30,13 @@ from typing import Any, Callable, Iterator, Optional, Tuple
 
 #: Monotonic tie-break counter shared by all simulators in the process.  Two
 #: events scheduled for the same instant fire in scheduling order, which makes
-#: runs reproducible regardless of heap internals.
+#: runs reproducible regardless of queue internals.
 _sequence: Iterator[int] = itertools.count()
+
+
+def next_seq() -> int:
+    """Draw the next global sequence number (kernel use: reschedule)."""
+    return next(_sequence)
 
 
 class EventHandle:
@@ -34,12 +50,14 @@ class EventHandle:
     two coincide — a real radio's defer check sees the finished frame.
 
     ``owner`` (set by the kernel) is notified on :meth:`cancel` so the
-    simulator can maintain its live-event count in O(1).
+    simulator can maintain its live-event count in O(1).  ``_pooled``
+    marks a handle whose creator allows the kernel to recycle it after it
+    fires or its cancelled entry is purged (see module docstring).
     """
 
     __slots__ = (
         "time", "priority", "seq", "callback", "args", "owner",
-        "_cancelled", "_fired",
+        "_cancelled", "_fired", "_pooled",
     )
 
     time: float
@@ -50,6 +68,7 @@ class EventHandle:
     owner: Optional[Any]
     _cancelled: bool
     _fired: bool
+    _pooled: bool
 
     def __init__(
         self,
@@ -58,7 +77,32 @@ class EventHandle:
         args: Tuple[Any, ...] = (),
         priority: int = 0,
         owner: Optional[Any] = None,
+        pooled: bool = False,
     ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = next(_sequence)
+        self.callback = callback
+        self.args = args
+        self.owner = owner
+        self._cancelled = False
+        self._fired = False
+        self._pooled = pooled
+
+    def _reinit(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...],
+        priority: int,
+        owner: Optional[Any],
+    ) -> None:
+        """Reset a recycled handle as if freshly constructed (kernel only).
+
+        Draws a new ``seq``, so any stale queue entries still naming the
+        old one stay dead.  Only the kernel's free list calls this, and
+        only for handles whose single live queue placement was removed.
+        """
         self.time = time
         self.priority = priority
         self.seq = next(_sequence)
@@ -92,7 +136,7 @@ class EventHandle:
         if self._cancelled or self._fired:
             return False
         self._cancelled = True
-        # Break reference cycles early; the heap entry lingers until popped.
+        # Break reference cycles early; the queue entry lingers until purged.
         self.callback = None
         self.args = ()
         owner = self.owner

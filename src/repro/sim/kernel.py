@@ -1,27 +1,39 @@
 """The discrete-event simulator.
 
-A :class:`Simulator` owns the virtual clock and the pending-event heap.
-Model code schedules callbacks with :meth:`Simulator.schedule` (relative
-delay) or :meth:`Simulator.at` (absolute time) and drives the run with
-:meth:`Simulator.run`.  The kernel guarantees:
+A :class:`Simulator` owns the virtual clock and a pluggable pending-event
+queue.  Model code schedules callbacks with :meth:`Simulator.schedule`
+(relative delay) or :meth:`Simulator.at` (absolute time) and drives the
+run with :meth:`Simulator.run`.  The kernel guarantees:
 
 * events fire in non-decreasing time order;
 * events scheduled for the same instant fire in scheduling order;
 * a cancelled event never fires;
 * the clock never moves backwards.
 
-The heap holds ``(time, priority, seq, handle)`` tuples so that sift
-comparisons are C-level tuple comparisons (``seq`` is unique, so the
-handle itself is never compared).  Cancelled events are dropped lazily
-when popped; a live-event counter — maintained in O(1) on schedule, fire
-and cancel — both answers :meth:`Simulator.pending_count` without walking
-the heap and triggers a compaction sweep when cancelled entries dominate
-the queue, which keeps long timer-heavy runs from dragging dead weight
-through every sift.
+*Which data structure holds the pending events* is an
+:class:`~repro.sim.queues.EventQueue` backend (``queue=`` — ``"heap"``,
+the binary tuple heap and default, or ``"wheel"``, a calendar queue with
+O(1) amortized schedule/cancel built for MACAW's cancel-dominated timer
+workload; the ``REPRO_QUEUE`` environment variable sets the ambient
+default).  Every backend delivers events in identical
+``(time, priority, seq)`` order, so ``events_fired`` and trace digests
+are byte-identical per seed regardless of backend.  Cancelled events are
+skipped lazily; each backend keeps a live-event counter — O(1) on
+schedule, fire and cancel — that both answers
+:meth:`Simulator.pending_count` without walking the structure and
+triggers a compaction sweep when dead entries dominate, from *any* pop
+path (``run``, ``step`` and ``peek`` share the accounting).
+
+Two allocation fast paths sit on top: handles created with
+``pooled=True`` (the promise that the creator never touches a handle
+after it fires or is cancelled — :class:`repro.sim.timers.Timer` does
+this) are recycled through a per-simulator free list, and
+:meth:`Simulator.reschedule` rearms a pending event in place when the
+backend supports it, sparing the cancel-then-push dance entirely.
 
 The paper's simulator (§3) is event-driven at packet granularity; runs of
 500–2000 simulated seconds at 256 kbps produce on the order of 10^5–10^6
-events, which this pure-Python heap handles comfortably.
+events, which this pure-Python kernel handles comfortably.
 
 Observability hooks into the kernel through a single *passive clock
 observer* (:meth:`Simulator.attach_observer`): a callback invoked with the
@@ -29,24 +41,19 @@ time the clock is about to advance to, *before* the event at that instant
 fires.  Because the observer schedules nothing and fires nothing, it is
 invisible to the event stream — ``events_fired`` and trace digests are
 byte-identical with or without one attached, which is the determinism
-contract :mod:`repro.obs` relies on.
+contract :mod:`repro.obs` relies on.  The observer slot is re-read every
+iteration, so an observer attached or detached by a fired event takes
+effect at the very next clock advance.
 """
 
 from __future__ import annotations
 
-from heapq import heapify, heappop, heappush
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, List, Optional
 
-from repro.sim.events import EventHandle
+from repro.sim.events import EventHandle, next_seq
+from repro.sim.queues import POOL_MAX, EventQueue, make_queue
 from repro.sim.rng import RandomStreams
 from repro.sim.trace import Trace
-
-#: Compact the heap when it holds more than this many entries and fewer
-#: than half of them are live.  Small enough to bound memory on cancel-heavy
-#: workloads, large enough that compaction never shows up on short runs.
-_COMPACT_MIN_SIZE = 512
-
-_HeapEntry = Tuple[float, int, int, EventHandle]
 
 
 class SimulationError(RuntimeError):
@@ -66,12 +73,28 @@ class Simulator:
     trace:
         Optional :class:`~repro.sim.trace.Trace` used by model components to
         record protocol events for post-run analysis.
+    queue:
+        Event-queue backend spec (``"heap"``, ``"wheel"``,
+        ``"wheel:WIDTH"``); None adopts ``$REPRO_QUEUE`` or the heap.
+        Purely a performance knob — results are byte-identical.
     """
 
-    def __init__(self, seed: int = 0, trace: Optional[Trace] = None) -> None:
+    def __init__(self, seed: int = 0, trace: Optional[Trace] = None,
+                 queue: Optional[str] = None) -> None:
         self._now = 0.0
-        self._heap: List[_HeapEntry] = []
-        self._live = 0
+        self._queue: EventQueue = make_queue(queue)
+        self._free: List[EventHandle] = []
+        self._queue.pool = self._free
+        # Hot-path aliases: one attribute hop instead of two per event.
+        # ``_note_cancelled`` is what EventHandle.cancel() calls on its
+        # owner — bound straight to the backend's accounting method.
+        self._push = self._queue.push
+        self._pop = self._queue.pop_next
+        self._note_cancelled = self._queue.note_cancelled
+        #: True when the backend rearms pending events in place (the
+        #: wheel); rearm-heavy callers check this before bothering
+        #: :meth:`reschedule` (the heap would only say no).
+        self.can_reschedule: bool = self._queue.supports_reschedule
         self._running = False
         self._stopped = False
         self.streams = RandomStreams(seed)
@@ -82,6 +105,11 @@ class Simulator:
         #: observability is off, which keeps the run loop at a single
         #: ``is not None`` test per fired event.
         self._observer: Optional[Callable[[float], None]] = None
+
+    @property
+    def queue_name(self) -> str:
+        """Registry name of the active event-queue backend."""
+        return self._queue.name
 
     # ------------------------------------------------------------- observing
     def attach_observer(self, observer: Callable[[float], None]) -> None:
@@ -98,7 +126,9 @@ class Simulator:
         events, write trace records, or draw from the random streams.
         Violating this breaks the determinism contract (identical
         ``events_fired`` and trace digests with the observer on or off).
-        Only one observer may be attached at a time.
+        Only one observer may be attached at a time.  Attaching from
+        inside a fired event is allowed: the slot is consulted afresh at
+        every clock advance.
         """
         if self._observer is not None:
             raise SimulationError("a clock observer is already attached")
@@ -122,26 +152,50 @@ class Simulator:
 
     # ------------------------------------------------------------ scheduling
     def at(self, time: float, callback: Callable[..., Any], *args: Any,
-           priority: int = 0) -> EventHandle:
+           priority: int = 0, pooled: bool = False) -> EventHandle:
         """Schedule ``callback(*args)`` at absolute simulated ``time``.
 
         ``priority`` breaks same-instant ties: lower fires first (frame-end
         deliveries use -1 so defer state is current at slot boundaries).
+        ``pooled`` lets the kernel recycle the handle after it fires or
+        its cancellation is collected — pass it only when no reference to
+        the handle outlives those moments (:class:`~repro.sim.timers
+        .Timer` qualifies; most model code should leave it off).
         """
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at t={time:.9f}, clock already at {self._now:.9f}"
             )
-        handle = EventHandle(time, callback, args, priority=priority, owner=self)
-        heappush(self._heap, (time, priority, handle.seq, handle))
-        self._live += 1
+        free = self._free
+        if pooled and free:
+            handle = free.pop()
+            handle._reinit(time, callback, args, priority, self)
+        else:
+            handle = EventHandle(time, callback, args, priority=priority,
+                                 owner=self, pooled=pooled)
+        self._push(time, priority, handle.seq, handle)
         return handle
 
-    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
-        """Schedule ``callback(*args)`` after ``delay`` seconds."""
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any,
+                 pooled: bool = False) -> EventHandle:
+        """Schedule ``callback(*args)`` after ``delay`` seconds.
+
+        The hottest scheduling entry point in MAC-heavy runs, so the
+        :meth:`at` body is inlined (a non-negative delay from ``now`` can
+        never land in the past — no clock check needed).
+        """
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        return self.at(self._now + delay, callback, *args)
+        time = self._now + delay
+        free = self._free
+        if pooled and free:
+            handle = free.pop()
+            handle._reinit(time, callback, args, 0, self)
+        else:
+            handle = EventHandle(time, callback, args, owner=self,
+                                 pooled=pooled)
+        self._push(time, 0, handle.seq, handle)
+        return handle
 
     def call_soon(self, callback: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` at the current instant.
@@ -151,16 +205,34 @@ class Simulator:
         """
         return self.at(self._now, callback, *args)
 
-    # ------------------------------------------------------- live bookkeeping
-    def _note_cancelled(self) -> None:
-        """An event created by this simulator was cancelled (EventHandle)."""
-        self._live -= 1
-        heap = self._heap
-        if len(heap) > _COMPACT_MIN_SIZE and self._live < len(heap) // 2:
-            # Rebuild with pending entries only.  Ordering is unaffected:
-            # entries keep their (time, priority, seq) keys.
-            self._heap = [entry for entry in heap if entry[3].pending]
-            heapify(self._heap)
+    def reschedule(self, handle: EventHandle, time: float,
+                   priority: int = 0) -> bool:
+        """Move a pending event to ``time`` in place, if the backend can.
+
+        Returns True when the backend rearmed the live handle (the wheel:
+        O(1), no new allocation) and False when it cannot (the heap) —
+        the caller then falls back to ``cancel()`` + a fresh schedule.
+        Either way the event is assigned a fresh sequence number, so
+        same-instant firing order is byte-identical to the fallback path.
+        """
+        if handle.owner is not self or not handle.pending:
+            raise SimulationError(
+                "reschedule() needs a pending event owned by this simulator"
+            )
+        if time < self._now:
+            raise SimulationError(
+                f"cannot reschedule to t={time:.9f}, clock already at "
+                f"{self._now:.9f}"
+            )
+        queue = self._queue
+        if not queue.supports_reschedule:
+            return False
+        seq = next_seq()
+        queue.reschedule(handle, time, priority, seq)
+        handle.time = time
+        handle.priority = priority
+        handle.seq = seq
+        return True
 
     # --------------------------------------------------------------- running
     def run(self, until: Optional[float] = None) -> float:
@@ -181,32 +253,40 @@ class Simulator:
             )
         self._running = True
         self._stopped = False
-        heap = self._heap
-        pop = heappop
-        observer = self._observer
+        pop_next = self._pop
+        free = self._free
+        # The counter accumulates in a local and lands back on the attribute
+        # in the finally block; nothing observes it between events (the loop
+        # body below is :meth:`EventHandle._fire` inlined — pop_next already
+        # filtered cancelled entries, so its liveness guard would be dead
+        # weight here).
+        fired = self.events_fired
         try:
-            # Entries are pushed exactly once and popped before firing, so a
-            # queued handle can only be pending or cancelled — reading the
-            # _cancelled slot directly skips a property call per event.
-            while heap and not self._stopped:
-                entry = heap[0]
-                head = entry[3]
-                if head._cancelled:
-                    pop(heap)
-                    continue
-                if until is not None and entry[0] > until:
+            while not self._stopped:
+                head = pop_next(until)
+                if head is None:
                     break
-                if observer is not None and entry[0] > self._now:
-                    observer(entry[0])
-                pop(heap)
-                self._now = entry[0]
-                self._live -= 1
-                head._fire()
-                self.events_fired += 1
-                heap = self._heap  # compaction may have swapped the list
+                time = head.time
+                # Re-read per iteration: a fired event may attach/detach.
+                observer = self._observer
+                if observer is not None and time > self._now:
+                    observer(time)
+                self._now = time
+                head._fired = True
+                callback = head.callback
+                args = head.args
+                head.callback = None
+                head.args = ()
+                head.owner = None
+                callback(*args)  # type: ignore[misc]
+                fired += 1
+                if head._pooled and len(free) < POOL_MAX:
+                    free.append(head)
         finally:
+            self.events_fired = fired
             self._running = False
         if until is not None and self._now < until and not self._stopped:
+            observer = self._observer
             if observer is not None:
                 observer(until)
             self._now = until
@@ -214,18 +294,18 @@ class Simulator:
 
     def step(self) -> bool:
         """Fire exactly one pending event.  Returns False when none remain."""
-        while self._heap:
-            head = heappop(self._heap)[3]
-            if head._cancelled:
-                continue
-            if self._observer is not None and head.time > self._now:
-                self._observer(head.time)
-            self._now = head.time
-            self._live -= 1
-            head._fire()
-            self.events_fired += 1
-            return True
-        return False
+        head = self._pop(None)
+        if head is None:
+            return False
+        observer = self._observer
+        if observer is not None and head.time > self._now:
+            observer(head.time)
+        self._now = head.time
+        head._fire()
+        self.events_fired += 1
+        if head._pooled and len(self._free) < POOL_MAX:
+            self._free.append(head)
+        return True
 
     def stop(self) -> None:
         """Stop the current :meth:`run` after the in-flight event returns."""
@@ -233,16 +313,14 @@ class Simulator:
 
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or None when the queue is empty."""
-        while self._heap and self._heap[0][3]._cancelled:
-            heappop(self._heap)
-        return self._heap[0][0] if self._heap else None
+        return self._queue.peek_time()
 
     def pending_count(self) -> int:
         """Number of live (non-cancelled) events still queued.  O(1)."""
-        return self._live
+        return self._queue.live
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Simulator(now={self._now:.6f}, pending={self.pending_count()},"
-            f" fired={self.events_fired})"
+            f" fired={self.events_fired}, queue={self.queue_name!r})"
         )

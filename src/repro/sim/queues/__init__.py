@@ -1,0 +1,95 @@
+"""Pluggable event-queue backends for the simulation kernel.
+
+:class:`~repro.sim.queues.base.EventQueue` is the contract; two backends
+register here:
+
+* ``"heap"`` — the binary tuple heap (default, the reference semantics);
+* ``"wheel"`` — the sparse calendar queue / timer wheel with O(1)
+  amortized schedule, cancel and reschedule (``"wheel:WIDTH"`` selects a
+  bucket width in seconds, e.g. ``"wheel:0.002"``).
+
+Both deliver events in identical ``(time, priority, seq)`` order, so
+``events_fired`` and ``Trace.digest()`` are byte-identical per seed —
+the parity tests in ``tests/verify/test_queue_parity.py`` pin it.
+
+Selection flows from :class:`repro.core.config.RunProfile` (``queue=``)
+through :class:`~repro.topo.builder.ScenarioBuilder` into
+``Simulator(queue=...)``; the ``REPRO_QUEUE`` environment variable picks
+the ambient default (how CI matrixes the whole test suite over both
+backends) and ``"heap"`` is the fallback.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.queues.base import COMPACT_MIN_SIZE, POOL_MAX, EventQueue
+from repro.sim.queues.heap import HeapQueue
+from repro.sim.queues.wheel import DEFAULT_BUCKET_WIDTH, WheelQueue
+
+__all__ = [
+    "COMPACT_MIN_SIZE",
+    "DEFAULT_BUCKET_WIDTH",
+    "POOL_MAX",
+    "EventQueue",
+    "HeapQueue",
+    "WheelQueue",
+    "QUEUE_BACKENDS",
+    "make_queue",
+    "queue_names",
+    "resolve_backend",
+]
+
+#: Environment variable naming the ambient backend (``heap``/``wheel``/
+#: ``wheel:WIDTH``); unset or empty means ``heap``.
+QUEUE_ENV = "REPRO_QUEUE"
+
+QUEUE_BACKENDS: Dict[str, Callable[[], EventQueue]] = {
+    "heap": HeapQueue,
+    "wheel": WheelQueue,
+}
+
+
+def queue_names() -> List[str]:
+    """The registered backend names, in registration order."""
+    return list(QUEUE_BACKENDS)
+
+
+def _parse(spec: str) -> Callable[[], EventQueue]:
+    """The factory a backend spec names; raises ValueError when unknown."""
+    name, _, arg = spec.partition(":")
+    factory = QUEUE_BACKENDS.get(name)
+    if factory is None:
+        known = ", ".join(queue_names())
+        raise ValueError(f"unknown event-queue backend {spec!r} (known: {known})")
+    if not arg:
+        return factory
+    if name != "wheel":
+        raise ValueError(f"backend {name!r} takes no argument, got {spec!r}")
+    try:
+        width = float(arg)
+    except ValueError:
+        raise ValueError(f"wheel bucket width must be a number, got {spec!r}") from None
+    if width <= 0:
+        raise ValueError(f"wheel bucket width must be > 0, got {spec!r}")
+    return lambda: WheelQueue(bucket_width=width)
+
+
+def resolve_backend(spec: Optional[str]) -> str:
+    """Canonical backend spec: explicit value, else ``$REPRO_QUEUE``, else heap.
+
+    Validates eagerly — an unknown name or malformed width raises
+    ValueError here, at configuration time, not deep inside a run.
+    """
+    if spec is None:
+        spec = os.environ.get(QUEUE_ENV, "").strip() or "heap"
+    if not isinstance(spec, str):
+        raise TypeError(f"queue backend spec must be a string, got {spec!r}")
+    _parse(spec)  # validation only
+    return spec
+
+
+def make_queue(spec: Optional[str] = None) -> EventQueue:
+    """Instantiate the backend ``spec`` names (None: ambient default)."""
+    return _parse(resolve_backend(spec))()

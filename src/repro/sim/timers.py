@@ -4,6 +4,16 @@ MAC state machines set, clear and re-arm timeouts on almost every frame.
 :class:`Timer` wraps the schedule/cancel dance so a state machine can say
 ``self.timer.start(delay)`` / ``self.timer.stop()`` without tracking raw
 event handles, and so a stale callback can never fire after a restart.
+
+Because a Timer owns its handle exclusively — it drops the reference the
+moment the event fires or is stopped — it opts into both kernel
+allocation fast paths: its handles are *pooled* (recycled through the
+simulator's free list instead of reallocated), and a restart while armed
+goes through :meth:`~repro.sim.kernel.Simulator.reschedule`, which on a
+backend with in-place rearm (the wheel) moves the live handle in O(1)
+with no cancel, no new entry surgery and no allocation at all.  On the
+heap backend ``reschedule`` declines and the classic cancel-then-schedule
+path runs instead; either way the event stream is byte-identical.
 """
 
 from __future__ import annotations
@@ -11,7 +21,7 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from repro.sim.events import EventHandle
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import SimulationError, Simulator
 
 
 class Timer:
@@ -27,29 +37,47 @@ class Timer:
         self._callback = callback
         self.name = name
         self._handle: Optional[EventHandle] = None
+        # Snapshot: the backend never changes under a live simulator, and
+        # skipping the doomed reschedule() call on the heap keeps the
+        # rearm path as cheap as it was before backends were pluggable.
+        self._can_resched = sim.can_reschedule
 
     @property
     def running(self) -> bool:
         """True while an expiry is pending."""
-        return self._handle is not None and self._handle.pending
+        handle = self._handle
+        return handle is not None and not (handle._cancelled or handle._fired)
 
     @property
     def expires_at(self) -> Optional[float]:
         """Absolute expiry time, or None when not running."""
-        if self.running:
-            assert self._handle is not None
-            return self._handle.time
+        handle = self._handle
+        if handle is not None and not (handle._cancelled or handle._fired):
+            return handle.time
         return None
+
+    def _arm(self, time: float) -> None:
+        """(Re-)arm at absolute ``time``, reusing the live handle if possible.
+
+        Runs on nearly every frame, so the handle's liveness slots are read
+        directly instead of through the ``pending`` property.
+        """
+        handle = self._handle
+        if handle is not None and not (handle._cancelled or handle._fired):
+            if self._can_resched and self._sim.reschedule(handle, time):
+                return
+            handle.cancel()
+        self._handle = self._sim.at(time, self._expire, pooled=True)
 
     def start(self, delay: float) -> None:
         """Arm (or re-arm) the timer ``delay`` seconds from now."""
-        self.stop()
-        self._handle = self._sim.schedule(delay, self._expire)
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        self._arm(self._sim.now + delay)
 
     def start_at(self, time: float) -> None:
         """Arm (or re-arm) the timer at absolute ``time``."""
-        self.stop()
-        self._handle = self._sim.at(time, self._expire)
+        self._arm(time)
 
     def extend_to(self, time: float) -> None:
         """Push the expiry out to ``time`` if that is later than current.
@@ -58,20 +86,29 @@ class Timer:
         control packets may lengthen, but never shorten, a quiet period
         (Appendix B control rule 11).
         """
-        current = self.expires_at
-        if current is None or time > current:
-            self.start_at(max(time, self._sim.now))
+        handle = self._handle
+        if handle is not None and not (handle._cancelled or handle._fired):
+            # A pending expiry never lies in the past, so ``time`` being
+            # later than it is already at-or-after ``now`` — no clamp.
+            if time > handle.time:
+                self._arm(time)
+            return
+        now = self._sim.now
+        self._arm(time if time > now else now)
 
     def stop(self) -> bool:
         """Disarm the timer.  Returns True when an expiry was pending."""
-        if self._handle is not None and self._handle.pending:
-            self._handle.cancel()
-            self._handle = None
-            return True
+        handle = self._handle
         self._handle = None
+        if handle is not None and not (handle._cancelled or handle._fired):
+            handle.cancel()
+            return True
         return False
 
     def _expire(self) -> None:
+        # Dropping the reference BEFORE the callback is what makes pooling
+        # safe: by the time the kernel recycles the fired handle, no Timer
+        # attribute can still name it.
         self._handle = None
         self._callback()
 

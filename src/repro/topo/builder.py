@@ -307,6 +307,14 @@ class ScenarioBuilder:
     def faults(self, value: Optional[Any]) -> None:
         self.profile = self.profile.but(faults=value)
 
+    @property
+    def queue(self) -> Optional[str]:
+        return self.profile.queue
+
+    @queue.setter
+    def queue(self, value: Optional[str]) -> None:
+        self.profile = self.profile.but(queue=value)
+
     # ------------------------------------------------------------- stations
     def add_station(
         self,
@@ -453,6 +461,7 @@ class ScenarioBuilder:
         sim = Simulator(
             seed=self.seed,
             trace=Trace(enabled=profile.trace or sanitize or report_digest),
+            queue=profile.queue,
         )
         if self.medium_kind == "graph":
             medium: Medium = GraphMedium(sim, bitrate_bps=profile.bitrate_bps)

@@ -219,7 +219,7 @@ def test_pending_count_is_live_counter_not_heap_walk():
     assert sim.pending_count() == 50
     sim.run(until=10.0)  # fires the 5 surviving events at t=2,4,6,8,10
     assert sim.pending_count() == 50 - 5
-    assert len(sim._heap) >= sim.pending_count()
+    assert len(sim._queue) >= sim.pending_count()
 
 
 def test_mass_cancel_compacts_heap():
@@ -228,13 +228,13 @@ def test_mass_cancel_compacts_heap():
     handles = [sim.schedule(float(i + 1), lambda: None) for i in range(2000)]
     for handle in handles:
         handle.cancel()
-    # Cancelled entries dominate a large heap, so compaction must sweep
-    # them out; the heap stays bounded near the compaction threshold
+    # Cancelled entries dominate a large queue, so compaction must sweep
+    # them out; the structure stays bounded near the compaction threshold
     # instead of dragging 2000 dead entries through every sift.
-    from repro.sim.kernel import _COMPACT_MIN_SIZE
+    from repro.sim.queues import COMPACT_MIN_SIZE
 
     assert sim.pending_count() == 1
-    assert len(sim._heap) <= _COMPACT_MIN_SIZE + 1
+    assert len(sim._queue) <= COMPACT_MIN_SIZE + 1
     sim.run()
     assert sim.now == 2000.0
     assert keep.fired

@@ -80,6 +80,28 @@ def test_observer_is_invisible_to_event_count():
     assert workload(plain) == workload(observed)
 
 
+def test_observer_attached_by_a_fired_event_takes_effect_same_run():
+    # The run loop must re-read the observer slot every iteration: an
+    # observer attached by an event mid-run sees every later advance.
+    sim = Simulator()
+    advances = []
+    sim.schedule(1.0, lambda: sim.attach_observer(advances.append))
+    sim.schedule(2.0, lambda: None)
+    sim.schedule(3.0, lambda: None)
+    sim.run(until=5.0)
+    assert advances == [2.0, 3.0, 5.0]
+
+
+def test_observer_detached_by_a_fired_event_takes_effect_same_run():
+    sim = Simulator()
+    advances = []
+    sim.attach_observer(advances.append)
+    sim.schedule(1.0, lambda: sim.detach_observer(advances.append))
+    sim.schedule(2.0, lambda: None)
+    sim.run(until=5.0)
+    assert advances == [1.0]  # nothing after the detach, not even the pad
+
+
 def test_step_drives_observer_too():
     sim = Simulator()
     advances = []

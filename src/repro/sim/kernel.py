@@ -227,11 +227,11 @@ class Simulator:
         queue = self._queue
         if not queue.supports_reschedule:
             return False
-        seq = next_seq()
-        queue.reschedule(handle, time, priority, seq)
-        handle.time = time
-        handle.priority = priority
-        handle.seq = seq
+        # The backend stamps the handle's new (time, priority, seq) itself,
+        # *before* its internal compaction can observe the old/new entry
+        # pair — assigning here afterwards would leave a window where the
+        # handle still named the stale entry (see EventQueue.reschedule).
+        queue.reschedule(handle, time, priority, next_seq())
         return True
 
     # --------------------------------------------------------------- running
@@ -244,6 +244,10 @@ class Simulator:
         like one long run.  Events scheduled at exactly ``until`` DO fire
         (the horizon is inclusive), which lets experiments observe state at
         clean boundaries.
+
+        ``events_fired`` is committed when ``run`` returns; a callback
+        reading it mid-run sees the pre-run value (and :meth:`step` is
+        rejected inside a run for the same reason).
         """
         if self._running:
             raise SimulationError("run() is not reentrant")
@@ -256,10 +260,12 @@ class Simulator:
         pop_next = self._pop
         free = self._free
         # The counter accumulates in a local and lands back on the attribute
-        # in the finally block; nothing observes it between events (the loop
-        # body below is :meth:`EventHandle._fire` inlined — pop_next already
-        # filtered cancelled entries, so its liveness guard would be dead
-        # weight here).
+        # in the finally block — ``events_fired`` read from inside a callback
+        # is the pre-run value until the run returns, and ``step()`` refuses
+        # to run re-entrantly so its direct increment can never be clobbered
+        # by the write-back.  (The loop body below is
+        # :meth:`EventHandle._fire` inlined — pop_next already filtered
+        # cancelled entries, so its liveness guard would be dead weight.)
         fired = self.events_fired
         try:
             while not self._stopped:
@@ -293,7 +299,14 @@ class Simulator:
         return self._now
 
     def step(self) -> bool:
-        """Fire exactly one pending event.  Returns False when none remain."""
+        """Fire exactly one pending event.  Returns False when none remain.
+
+        Not callable from inside :meth:`run`: the run loop batches its
+        ``events_fired`` updates, so a re-entrant step's increment would
+        be silently clobbered when the loop writes the counter back.
+        """
+        if self._running:
+            raise SimulationError("step() cannot be called from inside run()")
         head = self._pop(None)
         if head is None:
             return False

@@ -109,7 +109,12 @@ class EventQueue(ABC):
 
         Only called when :attr:`supports_reschedule` is True.  The old
         entry — identified by the handle's previous ``seq`` — becomes
-        dead in place; the caller updates the handle's fields.
+        dead in place.  The backend MUST assign the handle's ``time``,
+        ``priority`` and ``seq`` fields to the new key *before* any
+        internal compaction or purge can run: liveness is decided by
+        ``entry seq == handle.seq``, so exactly one entry has to match
+        the handle at every observable moment or a sweep mid-reschedule
+        keeps the stale entry and silently drops the event.
         """
         raise NotImplementedError(f"{self.name or type(self).__name__} "
                                   "does not support in-place reschedule")

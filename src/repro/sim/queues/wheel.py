@@ -52,6 +52,14 @@ from repro.sim.queues.base import COMPACT_MIN_SIZE, EventQueue, QueueEntry
 #: paper's 256 kbps radio).
 DEFAULT_BUCKET_WIDTH = 0.005
 
+#: Bucket key for times whose key computation leaves float range
+#: (``float('inf')`` sentinels, or astronomically large time × a tiny
+#: bucket width).  Strictly greater than any finite key — the largest
+#: finite float is < 2**1024 and keys are ``int(time / width)`` — so the
+#: far bucket matures last and in-bucket ``(time, priority, seq)``
+#: ordering keeps delivery byte-identical to the heap backend.
+FAR_KEY = 1 << 1100
+
 
 class WheelQueue(EventQueue):
     """Sparse calendar queue: dict buckets + a current-bucket heap."""
@@ -79,7 +87,15 @@ class WheelQueue(EventQueue):
     # ------------------------------------------------------------- queueing
     def push(self, time: float, priority: int, seq: int,
              handle: EventHandle) -> None:
-        key = int(time * self._inv_width)
+        try:
+            key = int(time * self._inv_width)
+        except (OverflowError, ValueError):
+            # inf (the heap backend happily queues a far-future sentinel
+            # at float('inf'); backends must be interchangeable) or a
+            # finite time × tiny width overflowing float range.  Park it
+            # in the single far-future bucket — zero cost on the hot
+            # path, since try/except is free when nothing raises.
+            key = FAR_KEY
         if key <= self._cur_key:
             # Current-range (and same-instant / call_soon) events join the
             # sorted head directly, preserving global order.
@@ -164,6 +180,14 @@ class WheelQueue(EventQueue):
     # --------------------------------------------------------- rescheduling
     def reschedule(self, handle: EventHandle, time: float, priority: int,
                    seq: int) -> None:
+        # Stamp the handle's new key FIRST: compaction (and the purge
+        # paths) decide entry liveness by ``entry seq == handle.seq``, so
+        # the handle must already name the entry about to be pushed —
+        # otherwise a sweep triggered below would keep the old entry and
+        # drop the new one, silently losing the event.
+        handle.time = time
+        handle.priority = priority
+        handle.seq = seq
         # The entry under the handle's *old* seq is now stale-in-place;
         # push() re-counts the handle as live, so net live is unchanged.
         self.live -= 1

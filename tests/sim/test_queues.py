@@ -219,6 +219,94 @@ def test_reschedule_into_the_past_is_rejected():
         sim.reschedule(handle, 1.0)
 
 
+def test_reschedule_survives_compaction_triggered_mid_call():
+    # Regression: reschedule() used to push the new entry and then run
+    # the compaction check while the handle still carried its OLD seq —
+    # a sweep firing at that instant kept the stale entry and dropped
+    # the fresh one, silently losing the event forever.
+    sim = Simulator(queue="wheel")
+    fired = []
+    moved = sim.schedule(10.0, fired.append, "moved")
+    chaff = [sim.schedule((i + 1) * 0.001, lambda: None) for i in range(1024)]
+    for handle in chaff[:513]:
+        handle.cancel()
+    # size=1025, live=512: the push inside reschedule() tips the queue
+    # past COMPACT_MIN_SIZE's half-live threshold, so the sweep runs
+    # mid-reschedule — exactly the window the old code got wrong.
+    assert len(sim._queue) == 1025
+    assert sim.pending_count() == 512
+    assert sim.reschedule(moved, 20.0)
+    assert moved.pending
+    sim.run()
+    assert fired == ["moved"]
+    assert sim.now == 20.0
+    assert sim.pending_count() == 0
+    assert sim.events_fired == 512  # 511 surviving chaff + the moved event
+
+
+def test_timer_rearm_survives_compaction_triggered_mid_call():
+    # Same window as above, but through the Timer rearm fast path that
+    # every MAC timeout restart exercises.
+    sim = Simulator(queue="wheel")
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now))
+    timer.start(10.0)
+    chaff = [sim.schedule((i + 1) * 0.001, lambda: None) for i in range(1024)]
+    for handle in chaff[:513]:
+        handle.cancel()
+    timer.start(20.0)  # in-place rearm; compaction fires mid-call
+    assert timer.running
+    sim.run()
+    assert fired == [20.0]
+    assert sim.pending_count() == 0
+
+
+@pytest.mark.parametrize("queue", ["heap", "wheel", "wheel:0.001"])
+def test_infinite_time_sentinel_works_on_every_backend(queue):
+    # The heap happily queues a sentinel at float('inf'); the wheel's
+    # bucket-key computation used to raise OverflowError on it, breaking
+    # the backends-are-interchangeable contract.
+    sim = Simulator(queue=queue)
+    fired = []
+    sentinel = sim.at(float("inf"), fired.append, "never")
+    sim.at(1.0, fired.append, "real")
+    sim.run(until=100.0)
+    assert fired == ["real"]
+    assert sim.pending_count() == 1
+    assert sim.peek() == float("inf")
+    sentinel.cancel()
+    assert sim.pending_count() == 0
+
+
+def test_wheel_huge_finite_time_with_tiny_width_is_parked_far_future():
+    # A finite time whose key computation overflows float range lands in
+    # the far bucket instead of crashing; ordering is still by time.
+    sim = Simulator(queue="wheel:0.001")
+    fired = []
+    sim.at(1e307, fired.append, "huge")
+    sim.at(float("inf"), fired.append, "inf")
+    sim.at(2.0, fired.append, "near")
+    sim.run(until=1e308)
+    assert fired == ["near", "huge"]
+    assert sim.pending_count() == 1
+
+
+def test_step_inside_run_is_rejected():
+    # run() batches events_fired in a local; a re-entrant step()'s direct
+    # increment would be clobbered by the write-back, so it must raise.
+    sim = Simulator()
+    caught = []
+    def probe():
+        with pytest.raises(SimulationError):
+            sim.step()
+        caught.append(True)
+    sim.schedule(1.0, probe)
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    assert caught == [True]
+    assert sim.events_fired == 2
+
+
 def test_wheel_stale_entries_never_fire():
     sim = Simulator(queue="wheel")
     fired = []

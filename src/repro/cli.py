@@ -16,6 +16,8 @@ Usage::
     macaw-sim chaos noise-burst --duration 300 --metrics
     macaw-sim analyze src/repro
     macaw-sim analyze src/repro --format sarif --output analysis.sarif
+    macaw-sim snapshot table2 --at 50 --store snaps/
+    macaw-sim table2 --seeds 0,1,2,3 --warm-start snaps/@50
 
 ``--seeds`` accepts either a count (``--seeds 4`` runs seed..seed+3) or an
 explicit comma-separated list (``--seeds 0,1,2,3``).  ``--jobs N`` fans the
@@ -34,6 +36,12 @@ cell, ready for ``python -m repro.obs.aggregate`` to band across seeds.
 enabled: every station's trace is replayed through the statechart and
 dialogue checker (:mod:`repro.verify.conformance`) and any violation is
 reported and fails the command.
+
+``snapshot`` pre-warms a keyed snapshot store (one warm-up simulation per
+experiment variant, captured at ``--at`` simulated seconds), and
+``--warm-start STORE[@T]`` makes every subsequent run fast-forward its
+warm-up through that store via :mod:`repro.snapshot` — results are
+byte-identical to cold runs, only the repeated warm-up work disappears.
 
 ``--faults spec.json`` / ``--chaos PRESET`` inject a
 :class:`~repro.fault.schedule.FaultSchedule` into every run (link flaps,
@@ -61,7 +69,17 @@ def _parse_seeds(spec: str, base: int) -> List[int]:
     exits 2 like every other usage error.
     """
     if "," in spec:
-        return [int(item) for item in spec.split(",") if item.strip()]
+        seeds = [int(item) for item in spec.split(",") if item.strip()]
+        deduped = list(dict.fromkeys(seeds))
+        if len(deduped) != len(seeds):
+            # Silent double-counting would skew sweep means and pass
+            # rates; keep first occurrences, preserve order, say so once.
+            print(
+                f"macaw-sim: --seeds list {spec!r} contains duplicates; "
+                f"running each seed once ({len(deduped)} unique)",
+                file=sys.stderr,
+            )
+        return deduped
     count = int(spec)
     if count < 1:
         raise ValueError(f"--seeds count must be >= 1, got {count}")
@@ -149,7 +167,36 @@ def _add_runner_options(parser: argparse.ArgumentParser) -> None:
         "results are byte-identical per seed, only speed differs "
         "($REPRO_QUEUE sets the ambient default)",
     )
+    parser.add_argument(
+        "--warm-start", default=None, metavar="STORE[@T]",
+        help="fast-forward every run's warm-up through the snapshot "
+        "store at STORE, branching at T simulated seconds (default 50); "
+        "missing snapshots are created on first use ('macaw-sim "
+        "snapshot' pre-warms a store).  Results are byte-identical to "
+        "cold runs",
+    )
     _add_fault_options(parser)
+
+
+def _parse_warm_start(spec: str):
+    """A :class:`WarmStart` from a ``--warm-start STORE[@T]`` value."""
+    store, _, at_text = spec.partition("@")
+    if not store:
+        raise ValueError(f"--warm-start needs a store directory, got {spec!r}")
+    at = 50.0
+    if at_text:
+        try:
+            at = float(at_text)
+        except ValueError:
+            raise ValueError(
+                f"--warm-start time must be a number, got {at_text!r}"
+            ) from None
+    if at <= 0:
+        raise ValueError(f"--warm-start time must be > 0, got {at!r}")
+    from repro.core.config import WarmStart
+    from repro.snapshot import store_digest
+
+    return WarmStart(at=at, store=store, digest=store_digest(store))
 
 
 def _add_fault_options(parser: argparse.ArgumentParser) -> None:
@@ -344,6 +391,106 @@ def _cmd_chaos(argv: List[str]) -> int:
     return 0
 
 
+def _cmd_snapshot(argv: List[str]) -> int:
+    """Pre-warm a snapshot store: one warm-up per experiment variant.
+
+    Runs the selected experiments with a warm-start profile pointed at
+    ``--store``; every scenario variant a cell builds lands one keyed
+    ``*.snap`` file at ``--at`` simulated seconds.  Later sweeps passing
+    ``--warm-start STORE[@T]`` then restore instead of re-simulating the
+    warm-up.
+    """
+    parser = argparse.ArgumentParser(
+        prog="macaw-sim snapshot",
+        description="Capture warm-up snapshots for experiments into a "
+        "keyed store (see --warm-start).",
+    )
+    parser.add_argument(
+        "experiment", help="experiment id (see 'list'), or 'all'",
+    )
+    parser.add_argument(
+        "--at", type=float, default=50.0, metavar="T",
+        help="simulated seconds to capture at (default 50, the paper's "
+        "warm-up horizon)",
+    )
+    parser.add_argument(
+        "--store", default=".macaw_snapshots", metavar="DIR",
+        help="snapshot store directory (default .macaw_snapshots)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master random seed")
+    parser.add_argument(
+        "--seeds", default="1", metavar="N|A,B,...",
+        help="seed count or explicit comma-separated list (as for runs)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=None,
+        help="simulated seconds per warming run (default: --at + 10)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (atomic store writes make this safe)",
+    )
+    parser.add_argument(
+        "--queue", default=None, metavar="BACKEND",
+        help="event-queue backend for the warming runs",
+    )
+    _add_fault_options(parser)
+    args = parser.parse_args(argv)
+
+    experiments = _resolve_experiments(args.experiment)
+    if experiments is None:
+        return 2
+    try:
+        seeds = _parse_seeds(args.seeds, args.seed)
+        schedule = _load_schedule(args.faults, args.chaos)
+        if args.at <= 0:
+            raise ValueError(f"--at must be > 0, got {args.at!r}")
+    except ValueError as exc:
+        print(f"macaw-sim: {exc}", file=sys.stderr)
+        return 2
+    duration = args.duration if args.duration is not None else args.at + 10.0
+    if duration <= args.at:
+        print("macaw-sim: --duration must exceed --at", file=sys.stderr)
+        return 2
+
+    from pathlib import Path
+
+    from repro.core.config import RunProfile, WarmStart
+    from repro.runner import expand_cells, run_cells
+
+    try:
+        profile = RunProfile(
+            faults=schedule,
+            queue=args.queue,
+            # Warm traced: the snapshot then carries the t<T records a
+            # --digest or sanitized sweep needs, and warm_key treats
+            # "traced however it was forced" as one key, so this store
+            # serves traced and digest-collecting runs alike.  Untraced
+            # sweeps warm their own (cheaper) snapshots on first use.
+            trace=True,
+            warm_start=WarmStart(at=args.at, store=args.store),
+        )
+    except ValueError as exc:
+        print(f"macaw-sim: {exc}", file=sys.stderr)
+        return 2
+
+    started = time.perf_counter()  # repro-lint: allow=REPRO102 (wall-time report)
+    cells = expand_cells(
+        [exp.spec.exp_id for exp in experiments], seeds,
+        duration=duration, warmup=0.0,
+    )
+    run_cells(cells, jobs=args.jobs, profile=profile)
+    elapsed = time.perf_counter() - started  # repro-lint: allow=REPRO102
+
+    store = Path(args.store)
+    snaps = sorted(store.glob("*.snap")) if store.is_dir() else []
+    print(f"{len(snaps)} snapshot(s) in {store}/ at t={args.at:g} "
+          f"({len(cells)} warming cells, {elapsed:.1f}s wall)")
+    for snap in snaps:
+        print(f"  {snap.name}")
+    return 0
+
+
 def _report_metrics(outcomes: list, out_dir: Optional[str],
                     interval: float) -> None:
     """Write (or summarize) the metrics series a sweep shipped back."""
@@ -388,6 +535,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.verify.analysis.cli import main as analysis_main
 
         return analysis_main(raw[1:])
+    if raw and raw[0] == "snapshot":
+        return _cmd_snapshot(raw[1:])
 
     args = _build_parser().parse_args(raw)
 
@@ -420,6 +569,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     metrics_on = args.metrics or args.metrics_out is not None
     try:
         schedule = _load_schedule(args.faults, args.chaos)
+        warm_start = (
+            _parse_warm_start(args.warm_start)
+            if args.warm_start is not None else None
+        )
     except ValueError as exc:
         print(f"macaw-sim: {exc}", file=sys.stderr)
         return 2
@@ -434,6 +587,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             metrics=metrics_interval if metrics_on else None,
             faults=schedule,
             queue=args.queue,
+            warm_start=warm_start,
         )
     except ValueError as exc:
         print(f"macaw-sim: {exc}", file=sys.stderr)

@@ -22,6 +22,7 @@ from repro.core.macaw import MacawMac
 from repro.core.config import (
     ProtocolConfig,
     RunProfile,
+    WarmStart,
     active_profile,
     ambient_profile,
     macaw_config,
@@ -39,6 +40,7 @@ __all__ = [
     "macaw_config",
     "ProtocolConfig",
     "RunProfile",
+    "WarmStart",
     "active_profile",
     "ambient_profile",
 ]

@@ -213,6 +213,31 @@ def _normalize_metrics(value: Any) -> Any:
 
 
 @dataclass(frozen=True)
+class WarmStart:
+    """Warm-start directive: branch runs from a snapshot store.
+
+    Lives here (not in :mod:`repro.snapshot`) so the core profile can
+    carry it without a layering inversion; the snapshot subsystem reads
+    it, the profile only digests it.  ``store`` names a directory of
+    keyed ``*.snap`` files; ``at`` is the warm-up horizon the snapshot
+    is taken at; ``digest`` optionally pins the store's content hash
+    (:func:`repro.snapshot.warmstart.store_digest`) so cache keys track
+    snapshot contents, not just the intent to warm-start.
+    """
+
+    #: Simulated time the warm-up snapshot is captured at.
+    at: float
+    #: Directory holding (or receiving) the keyed snapshot files.
+    store: str
+    #: Optional content digest over the store's snapshots.
+    digest: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.at <= 0:
+            raise ValueError(f"warm-start time must be > 0, got {self.at!r}")
+
+
+@dataclass(frozen=True)
 class RunProfile:
     """Every run-level knob of a scenario, as one immutable value.
 
@@ -259,6 +284,10 @@ class RunProfile:
     #: contract, but the digest still distinguishes them so perf
     #: comparisons never read each other's cache entries.
     queue: Optional[str] = None
+    #: Warm-start directive (:class:`WarmStart`); None runs cold from
+    #: t=0.  Participates in :meth:`digest` so warm-started results can
+    #: never collide with cold-run cache entries.
+    warm_start: Optional[WarmStart] = None
 
     def __post_init__(self) -> None:
         if self.bitrate_bps <= 0:
@@ -282,6 +311,10 @@ class RunProfile:
                 )
             if not self.faults:
                 object.__setattr__(self, "faults", None)
+        if self.warm_start is not None and not isinstance(self.warm_start, WarmStart):
+            raise TypeError(
+                f"warm_start expects a WarmStart or None, got {self.warm_start!r}"
+            )
 
     # -------------------------------------------------------------- sugar
     def but(self, **changes: Any) -> "RunProfile":
@@ -336,6 +369,15 @@ class RunProfile:
                 "metrics": metrics_blob,
                 "faults": None if self.faults is None else self.faults.to_dict(),
                 "queue": self.queue,
+                # The store *path* is deliberately not digested: equal
+                # keyed builds produce byte-identical snapshots wherever
+                # they are stored.  The content digest (when the caller
+                # pins one) and the branch time are what distinguish
+                # results.
+                "warm_start": None if self.warm_start is None else {
+                    "at": self.warm_start.at,
+                    "digest": self.warm_start.digest,
+                },
             },
             sort_keys=True,
             default=repr,

@@ -230,20 +230,29 @@ class FaultInjector:
             self._restore_links(name, snapshot)
 
     # --------------------------------------------------------- event installs
+    #
+    # Every scheduled callback is a *bound method* with explicit,
+    # picklable arguments (the frozen event/process dataclasses, tokens,
+    # link snapshots) rather than a nested closure: the snapshot
+    # subsystem serializes pending events as ``(owner token, method
+    # name, args)`` descriptors, which closures cannot round-trip.
+    # Continuation state that the old closures captured lexically is
+    # threaded through the argument lists; RNG substreams are re-resolved
+    # from ``sim.streams`` on every call (same cached generator object,
+    # same draw sequence) so no generator is ever captured by value.
+
     def _install_link_flap(self, event: LinkFlap) -> None:
         self._graph()
+        self.sim.at(event.start, self._link_flap_down, event)
 
-        def down() -> None:
-            token = self._begin(LinkFlap.kind)
-            self._set_link_safe(event.a, event.b, False, event.symmetric)
+    def _link_flap_down(self, event: LinkFlap) -> None:
+        token = self._begin(LinkFlap.kind)
+        self._set_link_safe(event.a, event.b, False, event.symmetric)
+        self.sim.at(event.end, self._link_flap_up, event, token)
 
-            def up() -> None:
-                self._set_link_safe(event.a, event.b, True, event.symmetric)
-                self._end(LinkFlap.kind, token)
-
-            self.sim.at(event.end, up)
-
-        self.sim.at(event.start, down)
+    def _link_flap_up(self, event: LinkFlap, token: int) -> None:
+        self._set_link_safe(event.a, event.b, True, event.symmetric)
+        self._end(LinkFlap.kind, token)
 
     def _install_burst_noise(self, event: BurstNoise, index: int) -> None:
         model = PacketErrorModel(
@@ -251,98 +260,105 @@ class FaultInjector:
             receivers=event.receivers,
             stream=f"fault:{BurstNoise.kind}:{index}",
         )
+        self.sim.at(event.start, self._burst_noise_start, event, model)
 
-        def start() -> None:
-            token = self._begin(BurstNoise.kind)
-            self.medium.add_noise_model(model)
+    def _burst_noise_start(
+        self, event: BurstNoise, model: PacketErrorModel
+    ) -> None:
+        token = self._begin(BurstNoise.kind)
+        self.medium.add_noise_model(model)
+        self.sim.at(event.end, self._burst_noise_stop, model, token)
 
-            def stop() -> None:
-                self.medium.remove_noise_model(model)
-                self._end(BurstNoise.kind, token)
-
-            self.sim.at(event.end, stop)
-
-        self.sim.at(event.start, start)
+    def _burst_noise_stop(self, model: PacketErrorModel, token: int) -> None:
+        self.medium.remove_noise_model(model)
+        self._end(BurstNoise.kind, token)
 
     def _install_station_churn(self, event: StationChurn) -> None:
-        def off() -> None:
-            station = self.scenario.stations[event.station]
-            if not station.powered:
-                return
-            snapshot = None
-            if event.on_at is not None and event.connect is None:
-                snapshot = self._snapshot_links(event.station)
-            token = self._begin(StationChurn.kind)
-            station.power_off()
-            if event.on_at is None:
-                return  # permanent outage: stays in the active gauge
+        self.sim.at(event.off_at, self._churn_off, event)
 
-            def on() -> None:
-                self._power_on_station(
-                    event.station, event.position, event.connect, snapshot
-                )
-                self._end(StationChurn.kind, token)
+    def _churn_off(self, event: StationChurn) -> None:
+        station = self.scenario.stations[event.station]
+        if not station.powered:
+            return
+        snapshot = None
+        if event.on_at is not None and event.connect is None:
+            snapshot = self._snapshot_links(event.station)
+        token = self._begin(StationChurn.kind)
+        station.power_off()
+        if event.on_at is None:
+            return  # permanent outage: stays in the active gauge
+        self.sim.at(event.on_at, self._churn_on, event, token, snapshot)
 
-            self.sim.at(event.on_at, on)
-
-        self.sim.at(event.off_at, off)
+    def _churn_on(
+        self,
+        event: StationChurn,
+        token: int,
+        snapshot: Optional[_LinkSnapshot],
+    ) -> None:
+        self._power_on_station(
+            event.station, event.position, event.connect, snapshot
+        )
+        self._end(StationChurn.kind, token)
 
     def _install_queue_squeeze(self, event: QueueSqueeze) -> None:
-        def start() -> None:
-            queue = self.scenario.stations[event.station].mac.queue
-            previous = queue.capacity
-            squeezed = (
-                event.capacity if previous is None
-                else min(previous, event.capacity)
-            )
-            token = self._begin(QueueSqueeze.kind)
-            queue.capacity = squeezed
+        self.sim.at(event.start, self._squeeze_start, event)
 
-            def stop() -> None:
-                queue.capacity = previous
-                self._end(QueueSqueeze.kind, token)
+    def _squeeze_start(self, event: QueueSqueeze) -> None:
+        queue = self.scenario.stations[event.station].mac.queue
+        previous = queue.capacity
+        squeezed = (
+            event.capacity if previous is None
+            else min(previous, event.capacity)
+        )
+        token = self._begin(QueueSqueeze.kind)
+        queue.capacity = squeezed
+        self.sim.at(event.end, self._squeeze_stop, event, token, previous)
 
-            self.sim.at(event.end, stop)
-
-        self.sim.at(event.start, start)
+    def _squeeze_stop(
+        self, event: QueueSqueeze, token: int, previous: Optional[int]
+    ) -> None:
+        self.scenario.stations[event.station].mac.queue.capacity = previous
+        self._end(QueueSqueeze.kind, token)
 
     def _install_clocked_move(self, event: ClockedMove) -> None:
-        def move() -> None:
-            self.injected[ClockedMove.kind] += 1
-            self.scenario.stations[event.station].position = event.position
+        self.sim.at(event.at, self._clocked_move, event)
 
-        self.sim.at(event.at, move)
+    def _clocked_move(self, event: ClockedMove) -> None:
+        self.injected[ClockedMove.kind] += 1
+        self.scenario.stations[event.station].position = event.position
 
     # ------------------------------------------------------ process installs
     def _install_gilbert_elliott(self, proc: GilbertElliott) -> None:
+        self._ge_schedule_bad(proc, proc.start)
+
+    def _ge_schedule_bad(self, proc: GilbertElliott, from_time: float) -> None:
         rng = self.sim.streams.get(proc.stream_name)
-        noise_stream = f"{proc.stream_name}:noise"
+        at = from_time + float(rng.exponential(proc.mean_good_s))
+        if proc.end is not None and at >= proc.end:
+            return
+        self.sim.at(at, self._ge_go_bad, proc)
 
-        def schedule_bad(from_time: float) -> None:
-            at = from_time + float(rng.exponential(proc.mean_good_s))
-            if proc.end is not None and at >= proc.end:
-                return
-            self.sim.at(at, go_bad)
+    def _ge_go_bad(self, proc: GilbertElliott) -> None:
+        rng = self.sim.streams.get(proc.stream_name)
+        duration = float(rng.exponential(proc.mean_bad_s))
+        clear_at = self.sim.now + duration
+        if proc.end is not None:
+            clear_at = min(clear_at, proc.end)
+        token = self._begin(BurstNoise.kind)
+        model = PacketErrorModel(
+            proc.error_rate,
+            receivers=proc.receivers,
+            stream=f"{proc.stream_name}:noise",
+        )
+        self.medium.add_noise_model(model)
+        self.sim.at(clear_at, self._ge_go_good, proc, token, model)
 
-        def go_bad() -> None:
-            duration = float(rng.exponential(proc.mean_bad_s))
-            clear_at = self.sim.now + duration
-            if proc.end is not None:
-                clear_at = min(clear_at, proc.end)
-            token = self._begin(BurstNoise.kind)
-            model = PacketErrorModel(
-                proc.error_rate, receivers=proc.receivers, stream=noise_stream
-            )
-            self.medium.add_noise_model(model)
-
-            def go_good() -> None:
-                self.medium.remove_noise_model(model)
-                self._end(BurstNoise.kind, token)
-                schedule_bad(self.sim.now)
-
-            self.sim.at(clear_at, go_good)
-
-        schedule_bad(proc.start)
+    def _ge_go_good(
+        self, proc: GilbertElliott, token: int, model: PacketErrorModel
+    ) -> None:
+        self.medium.remove_noise_model(model)
+        self._end(BurstNoise.kind, token)
+        self._ge_schedule_bad(proc, self.sim.now)
 
     def _flap_targets(
         self, proc: LinkFlapProcess
@@ -366,35 +382,40 @@ class FaultInjector:
     def _install_link_flap_process(self, proc: LinkFlapProcess) -> None:
         self._graph()
         for a, b, symmetric, stream in self._flap_targets(proc):
-            self._start_flap_chain(proc, a, b, symmetric, stream)
+            self._flap_schedule_down(proc, a, b, symmetric, stream, proc.start)
 
-    def _start_flap_chain(
-        self, proc: LinkFlapProcess, a: str, b: str, symmetric: bool, stream: str
+    def _flap_schedule_down(
+        self, proc: LinkFlapProcess, a: str, b: str, symmetric: bool,
+        stream: str, from_time: float
     ) -> None:
         rng = self.sim.streams.get(stream)
+        at = from_time + float(rng.exponential(proc.mean_up_s))
+        if proc.end is not None and at >= proc.end:
+            return
+        self.sim.at(at, self._flap_proc_down, proc, a, b, symmetric, stream)
 
-        def schedule_down(from_time: float) -> None:
-            at = from_time + float(rng.exponential(proc.mean_up_s))
-            if proc.end is not None and at >= proc.end:
-                return
-            self.sim.at(at, down)
+    def _flap_proc_down(
+        self, proc: LinkFlapProcess, a: str, b: str, symmetric: bool,
+        stream: str
+    ) -> None:
+        rng = self.sim.streams.get(stream)
+        duration = float(rng.exponential(proc.mean_down_s))
+        up_at = self.sim.now + duration
+        if proc.end is not None:
+            up_at = min(up_at, proc.end)
+        token = self._begin(LinkFlap.kind)
+        self._set_link_safe(a, b, False, symmetric)
+        self.sim.at(
+            up_at, self._flap_proc_up, proc, a, b, symmetric, stream, token
+        )
 
-        def down() -> None:
-            duration = float(rng.exponential(proc.mean_down_s))
-            up_at = self.sim.now + duration
-            if proc.end is not None:
-                up_at = min(up_at, proc.end)
-            token = self._begin(LinkFlap.kind)
-            self._set_link_safe(a, b, False, symmetric)
-
-            def up() -> None:
-                self._set_link_safe(a, b, True, symmetric)
-                self._end(LinkFlap.kind, token)
-                schedule_down(self.sim.now)
-
-            self.sim.at(up_at, up)
-
-        schedule_down(proc.start)
+    def _flap_proc_up(
+        self, proc: LinkFlapProcess, a: str, b: str, symmetric: bool,
+        stream: str, token: int
+    ) -> None:
+        self._set_link_safe(a, b, True, symmetric)
+        self._end(LinkFlap.kind, token)
+        self._flap_schedule_down(proc, a, b, symmetric, stream, self.sim.now)
 
     def _install_poisson_churn(self, proc: PoissonChurn) -> None:
         if proc.stations:
@@ -406,35 +427,46 @@ class FaultInjector:
             )
         if not pool:
             raise FaultInstallError("poisson_churn has no pads to power-cycle")
+        self._poisson_schedule_arrival(proc, pool, proc.start)
+
+    def _poisson_schedule_arrival(
+        self, proc: PoissonChurn, pool: Tuple[str, ...], from_time: float
+    ) -> None:
         rng = self.sim.streams.get(proc.stream_name)
-        mean_gap = 1.0 / proc.rate_per_s
+        at = from_time + float(rng.exponential(1.0 / proc.rate_per_s))
+        if proc.end is not None and at >= proc.end:
+            return
+        self.sim.at(at, self._poisson_arrive, proc, pool)
 
-        def schedule_arrival(from_time: float) -> None:
-            at = from_time + float(rng.exponential(mean_gap))
-            if proc.end is not None and at >= proc.end:
-                return
-            self.sim.at(at, arrive)
+    def _poisson_arrive(
+        self, proc: PoissonChurn, pool: Tuple[str, ...]
+    ) -> None:
+        # Draws are consumed unconditionally (station pick + outage
+        # length) so the sequence is deterministic under any overlap.
+        rng = self.sim.streams.get(proc.stream_name)
+        name = pool[int(rng.integers(len(pool)))]
+        outage = float(rng.exponential(proc.mean_outage_s))
+        self._poisson_schedule_arrival(proc, pool, self.sim.now)
+        station = self.scenario.stations[name]
+        if not station.powered:
+            return
+        snapshot = self._snapshot_links(name)
+        token = self._begin(StationChurn.kind)
+        station.power_off()
+        self.sim.at(
+            self.sim.now + outage, self._poisson_on, proc, name, token,
+            snapshot
+        )
 
-        def arrive() -> None:
-            # Draws are consumed unconditionally (station pick + outage
-            # length) so the sequence is deterministic under any overlap.
-            name = pool[int(rng.integers(len(pool)))]
-            outage = float(rng.exponential(proc.mean_outage_s))
-            schedule_arrival(self.sim.now)
-            station = self.scenario.stations[name]
-            if not station.powered:
-                return
-            snapshot = self._snapshot_links(name)
-            token = self._begin(StationChurn.kind)
-            station.power_off()
-
-            def on() -> None:
-                self._power_on_station(name, None, None, snapshot)
-                self._end(StationChurn.kind, token)
-
-            self.sim.at(self.sim.now + outage, on)
-
-        schedule_arrival(proc.start)
+    def _poisson_on(
+        self,
+        proc: PoissonChurn,
+        name: str,
+        token: int,
+        snapshot: Optional[_LinkSnapshot],
+    ) -> None:
+        self._power_on_station(name, None, None, snapshot)
+        self._end(StationChurn.kind, token)
 
 
 def install_faults(

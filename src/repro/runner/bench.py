@@ -17,6 +17,10 @@ against the committed ``benchmarks/BENCH_engine.json``:
 * ``--overhead`` times the six-pad cell with metrics off vs. on
   (1 s cadence) and verifies both runs fire identical event counts —
   the determinism contract measured, not assumed.
+* ``--warm-start`` times the six-pad cell cold vs. restored from a
+  mid-run checkpoint (``repro.snapshot``) and verifies both agree on the
+  horizon event count; ``--write`` folds the numbers into the baseline's
+  ``warm_start`` section, which is informational — never gated.
 * ``--profile FILE`` runs the single-backend table under cProfile and
   dumps the stats to FILE (inspect with ``python -m pstats FILE``).
 
@@ -207,6 +211,57 @@ def measure_metrics_overhead(repeats: int = DEFAULT_REPEATS) -> Dict[str, Dict[s
     return results
 
 
+def measure_warm_start(
+    repeats: int = DEFAULT_REPEATS, at: float = 50.0, horizon: float = 100.0
+) -> Dict[str, Dict[str, float]]:
+    """Cold vs snapshot-warm-started six-pad runs, best-of-repeats.
+
+    ``cold`` simulates the full [0, horizon]; ``warm`` restores the
+    checkpoint at ``at`` from a per-call store (the store is primed once,
+    unmeasured) and simulates only [at, horizon].  Because restore is
+    byte-identical to running through, ``events`` reports the events each
+    run actually *fired in-process* — the warm row's reduction is the
+    whole speedup.  Raises RuntimeError if the two runs disagree on the
+    total event count at the horizon (the restore invariant, measured).
+    Informational only: the ``--check`` gate never walks this section.
+    """
+    import tempfile
+
+    from repro.core.config import WarmStart
+    from repro.topo.figures import fig3_six_pads
+
+    totals: Dict[str, int] = {}
+
+    def run(warm: Optional[WarmStart], label: str) -> int:
+        builder = fig3_six_pads(protocol="macaw", seed=1)
+        if warm is not None:
+            builder.profile = builder.profile.but(warm_start=warm)
+        scenario = builder.build().run(horizon)
+        totals[label] = scenario.sim.events_fired
+        skipped = 0
+        info = scenario.warm_start_info
+        if info is not None and info.get("restored"):
+            skipped = int(info["events_at_branch"])
+        return scenario.sim.events_fired - skipped
+
+    with tempfile.TemporaryDirectory() as store:
+        warm = WarmStart(at=at, store=store)
+        run(warm, "prime")  # populate the store; first build pays the warm-up
+        results = _timed_rows(
+            [
+                ("cold_run", lambda: run(None, "cold")),
+                ("warm_start_run", lambda: run(warm, "warm")),
+            ],
+            repeats,
+        )
+    if totals["cold"] != totals["warm"]:
+        raise RuntimeError(
+            "warm-started run diverged from cold run: "
+            f"{totals['cold']} events at the horizon vs {totals['warm']}"
+        )
+    return results
+
+
 # -------------------------------------------------------------- baseline file
 
 def load_baseline(path: Path) -> Dict:
@@ -218,11 +273,14 @@ def write_baseline(
     path: Path,
     results: Dict[str, Dict[str, float]],
     backends: Optional[Dict[str, Dict[str, Dict[str, float]]]] = None,
+    warm_start: Optional[Dict[str, Dict[str, float]]] = None,
 ) -> None:
     """Write the measured baseline, preserving any frozen ``pre_pr`` block.
 
     ``results`` fills the legacy ``benchmarks`` block (the heap numbers);
     ``backends`` adds the per-backend matrix the ``--check`` gate walks.
+    ``warm_start`` records the checkpoint-restore speedup — informational
+    only, never gated (``check_against`` does not walk it).
     """
     data: Dict = {
         "schema": 2,
@@ -232,9 +290,12 @@ def write_baseline(
             "backend and 'backends' holds one section per event-queue "
             "backend; both are refreshed by `python -m repro.runner.bench "
             "--write`. 'pre_pr' is the frozen pre-optimization reference "
-            "and is never rewritten."
+            "and is never rewritten. 'warm_start' records the informational "
+            "checkpoint-restore speedup (six-pad cell, snapshot at t=50 of "
+            "100) and is never gated by --check."
         ),
     }
+    previous: Dict = {}
     if path.exists():
         try:
             previous = load_baseline(path)
@@ -247,6 +308,10 @@ def write_baseline(
     data["benchmarks"] = results
     if backends is not None:
         data["backends"] = backends
+    if warm_start is not None:
+        data["warm_start"] = warm_start
+    elif "warm_start" in previous:
+        data["warm_start"] = previous["warm_start"]
     path.parent.mkdir(parents=True, exist_ok=True)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(data, handle, indent=2, sort_keys=True)
@@ -333,6 +398,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "identical event counts",
     )
     mode.add_argument(
+        "--warm-start", action="store_true",
+        help="time the six-pad cell cold vs restored from a mid-run "
+        "checkpoint and verify identical horizon event counts",
+    )
+    mode.add_argument(
         "--profile", default=None, metavar="FILE",
         help="run the single-backend table under cProfile and dump "
         "stats to FILE (inspect with 'python -m pstats FILE')",
@@ -350,6 +420,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         on = overhead["metrics_on"]["events_per_sec"]
         print(f"\nmetrics-on overhead: {(off / on - 1.0):+.1%} "  # repro-lint: allow=REPRO107 (bench CLI output)
               f"(identical {overhead['metrics_off']['events']:,.0f} events)")
+        return 0
+
+    if args.warm_start:
+        try:
+            rows = measure_warm_start(repeats=args.repeats)
+        except RuntimeError as exc:
+            print(f"FAIL: {exc}", file=sys.stderr)  # repro-lint: allow=REPRO107 (bench CLI output)
+            return 1
+        print(_render(rows))  # repro-lint: allow=REPRO107 (bench CLI output)
+        cold = rows["cold_run"]
+        warm = rows["warm_start_run"]
+        print(  # repro-lint: allow=REPRO107 (bench CLI output)
+            f"\nwarm start: {warm['events']:,.0f} of {cold['events']:,.0f} "
+            f"events simulated ({1.0 - warm['events'] / cold['events']:.0%} "
+            f"skipped), wall {cold['wall_s']:.3f}s -> {warm['wall_s']:.3f}s"
+        )
         return 0
 
     if args.profile is not None:
@@ -373,7 +459,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(_render(results))  # repro-lint: allow=REPRO107 (bench CLI output)
             print()  # repro-lint: allow=REPRO107 (bench CLI output)
         if args.write:
-            write_baseline(path, matrix.get("heap", {}), backends=matrix)
+            warm_rows = measure_warm_start(repeats=args.repeats)
+            print("-- warm start (informational)")  # repro-lint: allow=REPRO107 (bench CLI output)
+            print(_render(warm_rows))  # repro-lint: allow=REPRO107 (bench CLI output)
+            write_baseline(
+                path, matrix.get("heap", {}), backends=matrix,
+                warm_start=warm_rows,
+            )
             print(f"baseline written to {path}")  # repro-lint: allow=REPRO107 (bench CLI output)
             return 0
         try:

@@ -24,8 +24,9 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import pickle
+import pickle  # repro-lint: allow=REPRO114 (CellResult blobs, not live simulator state)
 import tempfile
+import time
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional
 
@@ -39,6 +40,11 @@ CACHE_DIR_ENV = "MACAW_CACHE_DIR"
 
 #: Default cache location (under the working directory, like .pytest_cache).
 DEFAULT_CACHE_DIR = ".macaw_cache"
+
+#: Age (seconds) past which an orphaned ``*.tmp`` write is considered
+#: abandoned and swept at cache startup.  Old enough that a live pool
+#: worker's in-flight write can never be yanked out from under it.
+TMP_SWEEP_AGE_S = 3600.0
 
 _code_version_memo: Optional[str] = None
 
@@ -101,6 +107,30 @@ class ResultCache:
         self.directory = Path(directory)
         self.hits = 0
         self.misses = 0
+        self._sweep_stale_tmp()
+
+    def _sweep_stale_tmp(self) -> None:
+        """Remove orphaned ``*.tmp`` files left by killed pool workers.
+
+        :meth:`put` writes through a temp file + atomic rename; a worker
+        dying between the two strands the temp file forever (its name is
+        random, so no later write ever replaces it).  Swept entries are
+        never *served* regardless — :meth:`get` only opens ``*.pkl`` —
+        this is purely a disk-hygiene pass.  Only files older than
+        :data:`TMP_SWEEP_AGE_S` go, so a concurrent worker mid-write
+        (sharing this directory right now) is never raced.
+        """
+        try:
+            stale = list(self.directory.glob("*.tmp"))
+        except OSError:  # pragma: no cover - unreadable cache dir
+            return
+        cutoff = time.time() - TMP_SWEEP_AGE_S  # repro-lint: allow=REPRO102 (file mtime age, not sim time)
+        for tmp in stale:
+            try:
+                if tmp.stat().st_mtime <= cutoff:
+                    tmp.unlink()
+            except OSError:  # pragma: no cover - raced or perms; harmless
+                continue
 
     # ----------------------------------------------------------------- keys
     def key(self, cell: Cell, config: str, version: Optional[str] = None) -> str:

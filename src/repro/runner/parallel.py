@@ -28,7 +28,7 @@ import multiprocessing
 import time
 from typing import List, Optional, Sequence, Tuple
 
-from repro.core.config import RunProfile, warn_deprecated_kwarg
+from repro.core.config import RunProfile, WarmStart, warn_deprecated_kwarg
 from repro.experiments.registry import get_experiment
 from repro.obs.runtime import collecting, resolve_metrics
 from repro.runner.cache import ResultCache, profile_hash
@@ -97,6 +97,7 @@ def run_cells(
     sanitize: Optional[bool] = None,
     metrics_interval: Optional[float] = None,
     profile: Optional[RunProfile] = None,
+    warm_start: Optional[WarmStart] = None,
 ) -> List[CellResult]:
     """Run every cell and return results in input order.
 
@@ -123,6 +124,15 @@ def run_cells(
         profile (:func:`~repro.core.config.active_profile`) or defaults.
         Ambient switches are pinned into the profile in the parent, so
         serial and parallel execution see identical configuration.
+    warm_start:
+        Optional :class:`~repro.core.config.WarmStart`: every cell's
+        scenarios fast-forward to ``warm_start.at`` through the keyed
+        snapshot store instead of simulating the warm-up from t=0.  The
+        first cell needing a given (builder, profile, code) key warms
+        the store; the rest restore.  Folds into the profile — and hence
+        into the cache key — so warm results never collide with cold
+        ones.  Results are byte-identical to cold runs by the snapshot
+        subsystem's restore invariant.
     sanitize, metrics_interval:
         Deprecated spellings of ``profile.sanitize`` /
         ``profile.metrics``; each folds into the profile and warns once
@@ -132,6 +142,8 @@ def run_cells(
         raise ValueError(f"jobs must be >= 1, got {jobs!r}")
     if profile is None:
         profile = RunProfile.current()
+    if warm_start is not None:
+        profile = profile.but(warm_start=warm_start)
     if sanitize is not None:
         warn_deprecated_kwarg("run_cells", "sanitize")
         profile = profile.but(sanitize=sanitize)

@@ -1,0 +1,127 @@
+"""The snapshot pickle codec: persistent refs + deterministic bytes.
+
+Raw :mod:`pickle` cannot round-trip a live simulator — pending callbacks
+are bound methods of long-lived objects, and naive pickling would deep
+copy the whole object graph into the blob (then restore disconnected
+clones).  The codec fixes both problems and one more:
+
+* **Registered objects** (``sim``, ``medium``, each MAC, ...) serialize
+  as persistent IDs ``("obj", token)`` resolved against the restore
+  target's :class:`~repro.snapshot.registry.SnapshotRegistry`.
+* **Bound methods** whose ``__self__`` is registered serialize as
+  ``("method", owner_token, func_name)`` and resolve via ``getattr`` —
+  this is the stable callback descriptor the event entries rely on.
+* **Sets** are re-encoded in sorted order so the blob bytes — and hence
+  :attr:`Snapshot.digest` — are identical across processes regardless of
+  hash randomization.
+
+Everything else (frozen dataclasses, packets, timers, transmissions,
+plain containers) pickles by value; pickle's memo preserves identity
+sharing *within* one snapshot document, which the restore path depends
+on (e.g. a :class:`~repro.phy.medium.Transmission` shared between the
+medium's active set and a pending ``_finish`` event arrives as one
+object, not two).
+
+This module is the only sanctioned pickle surface for simulator state;
+lint rule REPRO114 keeps ad-hoc ``pickle`` use out of the rest of the
+stack.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+import types
+from typing import Any, Tuple
+
+from repro.snapshot.registry import SnapshotError, SnapshotRegistry
+
+__all__ = ["dumps", "loads", "PROTOCOL"]
+
+#: Fixed protocol (not HIGHEST_PROTOCOL): blob bytes must not depend on
+#: the interpreter minor version beyond what the code itself does.
+PROTOCOL = 4
+
+
+def _set_key(item: Any) -> Tuple[int, str]:
+    """Deterministic sort key for set members.
+
+    Named objects (MACs, stations) sort by name — their default repr
+    embeds a memory address, which would leak nondeterminism into the
+    blob.  Everything else a simulator set holds (ints, strings, string
+    tuples) has a stable repr.
+    """
+    name = getattr(item, "name", None)
+    if isinstance(name, str) and type(item).__module__ != "builtins":
+        return (0, name)
+    return (1, repr(item))
+
+
+class SnapshotPickler(pickle._Pickler):
+    # The *pure-Python* pickler, deliberately: the C accelerator
+    # dispatches exact set/frozenset before consulting
+    # ``reducer_override``, so the deterministic re-encoding below would
+    # silently never run and blob bytes would follow hash-iteration
+    # (address) order.  Snapshot capture is rare; the speed gap is noise.
+    def __init__(self, file: io.BytesIO, registry: SnapshotRegistry) -> None:
+        super().__init__(file, protocol=PROTOCOL)
+        self._registry = registry
+
+    def persistent_id(self, obj: Any) -> Any:
+        if isinstance(obj, types.MethodType):
+            owner = self._registry.token_for(obj.__self__)
+            if owner is not None:
+                return ("method", owner, obj.__func__.__name__)
+            return None
+        token = self._registry.token_for(obj)
+        if token is not None:
+            return ("obj", token)
+        return None
+
+    def reducer_override(self, obj: Any) -> Any:
+        cls = type(obj)
+        if cls is set:
+            return (set, (sorted(obj, key=_set_key),))
+        if cls is frozenset:
+            return (frozenset, (sorted(obj, key=_set_key),))
+        return NotImplemented
+
+    def memoize(self, obj: Any) -> None:
+        # Never memo-share strings/bytes: whether two equal strings are
+        # one object depends on interning (compile-time constants, kwargs
+        # keys), which a restore round-trip does not preserve — memo hits
+        # would then differ between a capture and its recapture, breaking
+        # blob-byte determinism.  Repeats are written inline instead.
+        if type(obj) in (str, bytes):
+            return
+        super().memoize(obj)
+
+
+class SnapshotUnpickler(pickle.Unpickler):
+    def __init__(self, file: io.BytesIO, registry: SnapshotRegistry) -> None:
+        super().__init__(file)
+        self._registry = registry
+
+    def persistent_load(self, pid: Any) -> Any:
+        kind = pid[0]
+        if kind == "obj":
+            return self._registry.resolve(pid[1])
+        if kind == "method":
+            owner = self._registry.resolve(pid[1])
+            try:
+                return getattr(owner, pid[2])
+            except AttributeError:
+                raise SnapshotError(
+                    f"callback descriptor {pid[1]}.{pid[2]} does not "
+                    "resolve on the restore target") from None
+        raise SnapshotError(f"unknown persistent id kind {kind!r}")
+
+
+def dumps(payload: Any, registry: SnapshotRegistry) -> bytes:
+    buffer = io.BytesIO()
+    SnapshotPickler(buffer, registry).dump(payload)
+    return buffer.getvalue()
+
+
+def loads(blob: bytes, registry: SnapshotRegistry) -> Any:
+    return SnapshotUnpickler(io.BytesIO(blob), registry).load()

@@ -97,6 +97,10 @@ class Scenario:
         #: Installed fault injector (:mod:`repro.fault`); None unless the
         #: builder's profile carried a non-empty schedule.
         self.fault_injector: Optional["FaultInjector"] = None
+        #: Provenance of a warm-started or forked build (store key, snap
+        #: digest, branch time); None for a cold build.  Set by
+        #: :mod:`repro.snapshot`.
+        self.warm_start_info: Optional[Dict[str, Any]] = None
 
     def station(self, name: str) -> Station:
         return self.stations[name]
@@ -545,4 +549,15 @@ class ScenarioBuilder:
             from repro.obs.probes import instrument_scenario
 
             scenario.metrics = instrument_scenario(scenario, metrics_config)
+
+        # Warm-start is the very last build step: with every component
+        # wired (including instrumentation), the scenario either fast-
+        # forwards by restoring a stored snapshot or runs the warm-up
+        # once and stores it.  Either way it comes back sitting at
+        # ``warm_start.at`` with state byte-identical to an uninterrupted
+        # run.
+        if profile.warm_start is not None:
+            from repro.snapshot import apply_warm_start
+
+            apply_warm_start(scenario, self, profile.warm_start)
         return scenario

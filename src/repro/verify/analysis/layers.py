@@ -37,6 +37,7 @@ __all__ = [
     "KNOWN_PACKAGES",
     "LAYER_ALLOWED_IMPORTS",
     "HOOK_EXCEPTIONS",
+    "PRIVATE_ACCESS_EXEMPT",
     "LAYER_GROUP",
     "classify_module",
     "module_package",
@@ -47,7 +48,7 @@ __all__ = [
 #: (``cli.py``, ``__init__.py``, ``__main__.py``) classify as ``""``.
 KNOWN_PACKAGES: FrozenSet[str] = frozenset({
     "sim", "phy", "mac", "core", "net", "topo", "experiments",
-    "analysis", "obs", "verify", "fault", "runner",
+    "analysis", "obs", "verify", "fault", "runner", "snapshot",
 })
 
 _STACK_BELOW_NET = frozenset({"sim", "phy", "mac", "core"})
@@ -74,6 +75,13 @@ LAYER_ALLOWED_IMPORTS: Dict[str, FrozenSet[str]] = {
     "runner": frozenset(
         _STACK_ALL | {"experiments", "obs", "verify", "runner", ""}
     ),
+    # Checkpoint/restore spans the whole stack by design: it captures
+    # every layer's state and keys warm-start stores off the runner's
+    # code-version hash.  It sits *above* runner (runner never imports
+    # snapshot; run_cells only carries core's WarmStart descriptor).
+    "snapshot": frozenset(
+        _STACK_ALL | {"fault", "obs", "runner", "snapshot"}
+    ),
     # The CLI and the top-level package tie everything together.
     "cli": frozenset(KNOWN_PACKAGES | {"", "cli"}),
     "": frozenset(KNOWN_PACKAGES | {"", "cli"}),
@@ -88,7 +96,17 @@ HOOK_EXCEPTIONS: FrozenSet[Tuple[str, str]] = frozenset({
     ("core/config.py", "obs"),
     ("core/config.py", "fault"),
     ("fault/report.py", "topo"),
+    # Warm-start hook: build() hands the finished scenario to the
+    # snapshot subsystem when the profile carries a WarmStart.
+    ("topo/builder.py", "snapshot"),
 })
+
+#: Packages exempt from REPRO110's cross-layer *private attribute* check.
+#: The snapshot codec's whole job is serializing other layers' private
+#: state (queue entries, RNG internals, busy-interval accounting); a
+#: public accessor per field would be a parallel API mirroring every
+#: layer's internals.  Import discipline still applies to it in full.
+PRIVATE_ACCESS_EXEMPT: FrozenSet[str] = frozenset({"snapshot"})
 
 #: Packages sharing a rank (mutual private-attribute access is in-layer).
 LAYER_GROUP: Dict[str, str] = {

@@ -17,6 +17,7 @@ Module                      Rules
 :mod:`.layering`            REPRO110 layer DAG + cross-layer privates
 :mod:`.frozen`              REPRO111 frozen-dataclass mutation
 :mod:`.ordering`            REPRO112 order-sensitive set iteration
+:mod:`.persistence`         REPRO114 pickle-outside-snapshot
 ==========================  ==============================================
 """
 
@@ -27,5 +28,6 @@ from repro.verify.analysis.rules import (  # noqa: F401  (registration side effe
     kernel,
     layering,
     ordering,
+    persistence,
     telemetry,
 )

@@ -1,0 +1,60 @@
+"""REPRO114: ad-hoc pickling of simulator state.
+
+Live simulator objects are full of things ``pickle`` silently gets
+wrong: callbacks bound into the event queue, RNG substreams whose
+identity (not just state) matters, process-global sequence counters,
+and cross-references that must survive as *the same object*.  The
+checkpoint subsystem (``repro/snapshot/``) exists precisely to handle
+all of that — its codec routes every registered component and RNG
+through stable tokens and re-encodes sets deterministically.
+
+So ``pickle`` (and ``copyreg``, its customization surface) may be
+imported only inside ``repro/snapshot/``.  Everything else either uses
+the snapshot API or — for plain-data records like the result cache's
+``CellResult`` blobs — carries an explicit per-line allow pragma::
+
+    import pickle  # repro-lint: allow=REPRO114 (CellResult blobs, ...)
+
+``TYPE_CHECKING``-only imports are exempt, as everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.verify.analysis.facts import ModuleFacts
+from repro.verify.analysis.findings import Finding
+from repro.verify.analysis.project import ProjectIndex
+from repro.verify.analysis.registry import rule
+
+#: Modules whose import marks ad-hoc persistence of live objects.
+_PERSISTENCE_ROOTS = frozenset({"pickle", "copyreg"})
+
+
+def _in_snapshot_package(facts: ModuleFacts) -> bool:
+    if facts.package == "snapshot":
+        return True
+    # Fixture paths without a repro/ segment classify by leading package.
+    rel = facts.rel or ""
+    return rel.split("/")[0] == "snapshot"
+
+
+@rule("REPRO114", name="persistence",
+      summary="pickle/copyreg are confined to repro/snapshot/")
+def check_persistence(
+    facts: ModuleFacts, project: Optional[ProjectIndex]
+) -> Iterator[Finding]:
+    if _in_snapshot_package(facts):
+        return
+    for binding in facts.imports:
+        if binding.type_checking:
+            continue
+        if binding.root not in _PERSISTENCE_ROOTS:
+            continue
+        yield Finding(
+            facts.path, binding.line, binding.col, "REPRO114",
+            f"direct '{binding.root}' use outside repro/snapshot/; serialize"
+            " simulator state through repro.snapshot (registered tokens,"
+            " deterministic set encoding) — or, for plain-data records,"
+            " add '# repro-lint: allow=REPRO114 (<why>)' on this line",
+        )

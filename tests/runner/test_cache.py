@@ -89,3 +89,35 @@ def test_corrupt_entry_is_a_miss_not_an_error(tmp_path):
     again = _run_one(cache)
     assert not again.cached
     assert _run_one(cache).cached
+
+
+def test_startup_sweeps_only_stale_tmp_files(tmp_path):
+    import os
+    import time
+
+    from repro.runner.cache import TMP_SWEEP_AGE_S
+
+    stale = tmp_path / "orphaned-worker-write.tmp"
+    stale.write_bytes(b"partial pickle from a killed worker")
+    old = time.time() - TMP_SWEEP_AGE_S - 60.0
+    os.utime(stale, (old, old))
+    fresh_tmp = tmp_path / "in-flight-write.tmp"
+    fresh_tmp.write_bytes(b"a concurrent worker mid-put")
+    bystander = tmp_path / "unrelated.txt"
+    bystander.write_text("not cache state")
+
+    cache = ResultCache(tmp_path)
+    assert not stale.exists()          # orphan reclaimed at startup
+    assert fresh_tmp.exists()          # recent write never raced
+    assert bystander.exists()          # only *.tmp is touched
+
+    # Sweeping is hygiene, not invalidation: entries still round-trip,
+    # and a lingering tmp file is never served as a hit.
+    first = _run_one(cache)
+    assert not first.cached
+    assert _run_one(cache).cached
+
+
+def test_missing_cache_dir_sweep_is_harmless(tmp_path):
+    cache = ResultCache(tmp_path / "never-created")
+    assert cache.hits == 0 and cache.misses == 0

@@ -77,6 +77,26 @@ def test_seeds_count_still_expands_from_base_seed(capsys):
     assert "digest seed 4:" in out and "digest seed 5:" in out
 
 
+def test_seeds_duplicates_collapse_in_order_with_warning(capsys):
+    code = main([
+        "table9", "--duration", "30", "--warmup", "5",
+        "--seeds", "5,3,5,3,5", "--digest",
+    ])
+    captured = capsys.readouterr()
+    assert code in (0, 1)
+    assert "contains duplicates" in captured.err
+    assert "running each seed once (2 unique)" in captured.err
+    # First occurrences win and keep their order: 5 before 3.
+    assert captured.out.index("digest seed 5:") < captured.out.index(
+        "digest seed 3:")
+    assert "mean of 2 seeds" in captured.out
+
+
+def test_seeds_without_duplicates_warns_nothing(capsys):
+    main(["table9", "--duration", "30", "--warmup", "5", "--seeds", "3,5"])
+    assert "duplicates" not in capsys.readouterr().err
+
+
 def test_invalid_seeds_value_returns_2(capsys):
     assert main(["table9", "--seeds", "zero"]) == 2
     assert "invalid --seeds value" in capsys.readouterr().err

@@ -350,3 +350,48 @@ def test_repro113_kernel_module_exempt():
         "    self._now = 1.0\n"
     )
     assert "REPRO113" not in codes(src, path="src/repro/sim/kernel.py")
+
+
+# -------------------------------- REPRO114 (pickle confined to snapshot)
+
+
+def test_repro114_pickle_import_flagged():
+    src = "import pickle\nx = pickle.dumps\n"
+    assert "REPRO114" in codes(src, path="src/repro/runner/cache.py")
+
+
+def test_repro114_copyreg_flagged():
+    src = "import copyreg\nx = copyreg.pickle\n"
+    assert "REPRO114" in codes(src, path="src/repro/mac/macaw.py")
+
+
+def test_repro114_from_import_flagged():
+    src = "from pickle import dumps\nx = dumps\n"
+    assert "REPRO114" in codes(src, path="src/repro/net/flows.py")
+
+
+def test_repro114_snapshot_package_exempt():
+    src = "import pickle\nx = pickle.dumps\n"
+    assert "REPRO114" not in codes(src, path="src/repro/snapshot/codec.py")
+    assert "REPRO114" not in codes(src, path="snapshot/codec.py")
+
+
+def test_repro114_type_checking_exempt():
+    src = (
+        "from typing import TYPE_CHECKING\n"
+        "if TYPE_CHECKING:\n"
+        "    import pickle\n"
+        "def f(x: 'pickle.Pickler') -> None:\n"
+        "    pass\n"
+    )
+    assert "REPRO114" not in codes(src, path="src/repro/runner/cache.py")
+
+
+def test_repro114_allow_pragma():
+    src = "import pickle  # repro-lint: allow=REPRO114 (plain records)\nx = pickle.dumps\n"
+    assert "REPRO114" not in codes(src, path="src/repro/runner/cache.py")
+
+
+def test_repro114_unrelated_modules_clean():
+    src = "import json\nx = json.dumps\n"
+    assert "REPRO114" not in codes(src, path="src/repro/runner/cache.py")

@@ -12,16 +12,14 @@ pad's throughput so the dynamics are visible, not just the averages:
 Run:  python examples/backoff_dynamics.py
 """
 
-from repro import maca_config
-from repro.analysis import throughput_timeseries
-from repro.topo.figures import fig2_two_pads
+from repro.api import figures, maca_config, throughput_timeseries
 
 DURATION_S = 400.0
 BIN_S = 40.0
 
 
 def timeline(config, label):
-    scenario = fig2_two_pads(config=config, seed=0).build().run(DURATION_S)
+    scenario = figures.fig2_two_pads(config=config, seed=0).build().run(DURATION_S)
     print(f"\n{label}")
     print(f"  {'window':<12} {'P1-B':>7} {'P2-B':>7}")
     p1 = throughput_timeseries(scenario.recorder, "P1-B", 0, DURATION_S, BIN_S)

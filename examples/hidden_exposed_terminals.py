@@ -13,9 +13,7 @@ under MACA and prints what each protocol delivers:
 Run:  python examples/hidden_exposed_terminals.py
 """
 
-from repro import maca_config
-from repro.mac.csma import CsmaConfig
-from repro.topo.figures import fig1_exposed_terminal, fig1_hidden_terminal
+from repro.api import CsmaConfig, figures, maca_config
 
 DURATION_S = 150.0
 WARMUP_S = 25.0
@@ -41,16 +39,16 @@ def main() -> None:
     maca_cfg = maca_config(copy_backoff=True)
 
     hidden = (
-        run(fig1_hidden_terminal, "csma", csma_cfg),
-        run(fig1_hidden_terminal, "maca", maca_cfg),
+        run(figures.fig1_hidden_terminal, "csma", csma_cfg),
+        run(figures.fig1_hidden_terminal, "maca", maca_cfg),
     )
     show("Hidden terminals: A→B and C→B (A, C mutually inaudible)", hidden)
     print("  CSMA senders sense silence and collide at B; MACA's CTS from B")
     print("  silences whichever sender lost the RTS exchange.")
 
     exposed = (
-        run(fig1_exposed_terminal, "csma", csma_cfg),
-        run(fig1_exposed_terminal, "maca", maca_cfg),
+        run(figures.fig1_exposed_terminal, "csma", csma_cfg),
+        run(figures.fig1_exposed_terminal, "maca", maca_cfg),
     )
     show("Exposed terminals: B→A and C→D (C hears B, cannot harm A)", exposed)
     print("  CSMA's C defers to a transmission it could never corrupt;")

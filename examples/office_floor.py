@@ -10,8 +10,7 @@ protocols and a timeline of P7's stream as it appears.
 Run:  python examples/office_floor.py
 """
 
-from repro.analysis import jain_fairness, throughput_timeseries
-from repro.topo.figures import fig11_office
+from repro.api import figures, jain_fairness, throughput_timeseries
 
 DURATION_S = 600.0
 WARMUP_S = 50.0
@@ -20,7 +19,7 @@ P7_ARRIVAL_S = 180.0
 
 def run(protocol: str):
     scenario = (
-        fig11_office(protocol=protocol, seed=11, p7_arrival_s=P7_ARRIVAL_S)
+        figures.fig11_office(protocol=protocol, seed=11, p7_arrival_s=P7_ARRIVAL_S)
         .build()
         .run(DURATION_S)
     )

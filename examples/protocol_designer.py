@@ -10,9 +10,7 @@ buys — the paper's §3 narrative as a single table.
 Run:  python examples/protocol_designer.py
 """
 
-from repro import ProtocolConfig
-from repro.analysis import jain_fairness
-from repro.topo.builder import ScenarioBuilder
+from repro.api import ProtocolConfig, ScenarioBuilder, jain_fairness
 
 DURATION_S = 250.0
 WARMUP_S = 40.0

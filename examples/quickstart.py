@@ -8,8 +8,7 @@ throughput, fairness, and channel utilization.
 Run:  python examples/quickstart.py
 """
 
-from repro import ScenarioBuilder
-from repro.analysis import channel_utilization, jain_fairness
+from repro.api import ScenarioBuilder, channel_utilization, jain_fairness
 
 DURATION_S = 120.0
 WARMUP_S = 20.0

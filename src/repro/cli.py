@@ -18,6 +18,10 @@ Usage::
     macaw-sim analyze src/repro --format sarif --output analysis.sarif
     macaw-sim snapshot table2 --at 50 --store snaps/
     macaw-sim table2 --seeds 0,1,2,3 --warm-start snaps/@50
+    macaw-sim sweep table2 table9 --seeds 0,1,2,3 --jobs 4
+    macaw-sim sweep table2 --adaptive --epsilon 2.0 --max-seeds 16
+    macaw-sim sweep --resume 3f9c2a1b04de
+    macaw-sim sweep --list
 
 ``--seeds`` accepts either a count (``--seeds 4`` runs seed..seed+3) or an
 explicit comma-separated list (``--seeds 0,1,2,3``).  ``--jobs N`` fans the
@@ -42,6 +46,15 @@ experiment variant, captured at ``--at`` simulated seconds), and
 ``--warm-start STORE[@T]`` makes every subsequent run fast-forward its
 warm-up through that store via :mod:`repro.snapshot` — results are
 byte-identical to cold runs, only the repeated warm-up work disappears.
+
+``sweep`` runs the grid as a durable job (:mod:`repro.service`): the
+spec is digest-keyed, completed cells append to a chained journal, and
+worker death retries with backoff.  ^C drains and journals in-flight
+cells and exits 130; ``--resume JOB`` (or re-running the same spec)
+replays the journal + cache byte-identically and continues.
+``--adaptive --epsilon E`` switches from fixed seeds to sequential
+stopping: per experiment, seeds are added until the target metric's CI
+half-width drops below E (or ``--max-seeds`` caps it).
 
 ``--faults spec.json`` / ``--chaos PRESET`` inject a
 :class:`~repro.fault.schedule.FaultSchedule` into every run (link flaps,
@@ -491,6 +504,301 @@ def _cmd_snapshot(argv: List[str]) -> int:
     return 0
 
 
+def _cmd_sweep(argv: List[str]) -> int:
+    """Durable, resumable sweep jobs (the repro.service orchestrator).
+
+    A sweep is journaled under ``--job-dir/<job_id>/``: every completed
+    cell appends to a digest-chained JSONL journal, so ``--resume JOB``
+    (or simply re-running the same spec) replays completed cells from
+    the journal + result cache and continues byte-identically.  ^C
+    drains in-flight workers, journals them, and exits 130.
+    """
+    parser = argparse.ArgumentParser(
+        prog="macaw-sim sweep",
+        description="Run a durable experiment × seed sweep job with "
+        "journaled resume, worker-death retry, and optional adaptive "
+        "(CI-driven) seed allocation.",
+    )
+    parser.add_argument(
+        "experiments", nargs="*", metavar="EXPERIMENT",
+        help="experiment ids (see 'list'), or 'all'",
+    )
+    parser.add_argument(
+        "--resume", default=None, metavar="JOB",
+        help="resume the job with this id (or unambiguous id prefix, or "
+        "a path to a job directory); the saved spec wins over spec flags",
+    )
+    parser.add_argument(
+        "--list", action="store_true", dest="list_jobs",
+        help="list the jobs under --job-dir and exit",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base seed")
+    parser.add_argument(
+        "--seeds", default=None, metavar="N|A,B,...",
+        help="fixed allocation: a count (seed..seed+N-1) or an explicit "
+        "comma-separated list (default 3; exclusive with --adaptive)",
+    )
+    parser.add_argument(
+        "--adaptive", action="store_true",
+        help="sequential stopping: per experiment, keep adding seeds "
+        "until the target metric's CI half-width is below --epsilon "
+        "(or --max-seeds is hit)",
+    )
+    parser.add_argument(
+        "--epsilon", type=float, default=None, metavar="PPS",
+        help="target CI half-width in metric units (required with "
+        "--adaptive)",
+    )
+    parser.add_argument(
+        "--metric", default="total", metavar="SPEC",
+        help="stopping metric: 'total' (default) or 'variant:NAME'",
+    )
+    parser.add_argument(
+        "--min-seeds", type=int, default=3, metavar="N",
+        help="adaptive: seeds to run before the first CI decision "
+        "(default 3)",
+    )
+    parser.add_argument(
+        "--max-seeds", type=int, default=32, metavar="N",
+        help="adaptive: hard cap per experiment (default 32)",
+    )
+    parser.add_argument(
+        "--step", type=int, default=1, metavar="N",
+        help="adaptive: seeds added per round (default 1)",
+    )
+    parser.add_argument(
+        "--confidence", type=float, default=0.95,
+        help="adaptive: CI confidence level, 0.95 or 0.99 (default 0.95)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=None,
+        help="simulated seconds per run (default: experiment-specific)",
+    )
+    parser.add_argument(
+        "--warmup", type=float, default=None,
+        help="seconds excluded from throughput",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes; purely a speed knob — the digest set is "
+        "identical at any value (default 1)",
+    )
+    parser.add_argument(
+        "--job-dir", default=None, metavar="DIR",
+        help="where job journals live (default .macaw_jobs)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache directory (default .macaw_cache or "
+        "$MACAW_CACHE_DIR; the service always caches — resume "
+        "rematerializes full results from it)",
+    )
+    parser.add_argument(
+        "--queue", default=None, metavar="BACKEND",
+        help="event-queue backend: 'heap' (default), 'wheel', or "
+        "'wheel:WIDTH' (byte-identical results, different speed)",
+    )
+    parser.add_argument(
+        "--no-digest", action="store_true",
+        help="skip per-cell trace digests (faster; forfeits the "
+        "resume byte-equality fingerprint)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="worker-death retries per cell before the job fails "
+        "(default 2)",
+    )
+    parser.add_argument(
+        "--backoff", type=float, default=None, metavar="SECONDS",
+        help="retry backoff base; retry N waits backoff * 2^(N-1) "
+        "(default 0.5)",
+    )
+    # Deterministic interruption for tests and the CI resume smoke:
+    # stop scheduling after N fresh cells, exit as if ^C'd.
+    parser.add_argument(
+        "--stop-after", type=int, default=None, help=argparse.SUPPRESS,
+    )
+    _add_fault_options(parser)
+    args = parser.parse_args(argv)
+
+    from pathlib import Path
+
+    from repro.core.config import RunProfile
+    from repro.runner import ResultCache
+    from repro.service import (
+        DEFAULT_BACKOFF_S,
+        DEFAULT_JOB_DIR,
+        DEFAULT_RETRIES,
+        AdaptiveSeeds,
+        CellFailure,
+        FixedSeeds,
+        Job,
+        JobSpec,
+        JournalError,
+        WorkerDeath,
+        find_job,
+        run_job,
+    )
+
+    job_dir = args.job_dir if args.job_dir is not None else DEFAULT_JOB_DIR
+
+    if args.list_jobs:
+        root = Path(job_dir)
+        entries = sorted(
+            entry for entry in (root.iterdir() if root.is_dir() else [])
+            if (entry / "spec.json").exists()
+        )
+        if not entries:
+            print(f"no jobs under {root}/")
+            return 0
+        for entry in entries:
+            try:
+                job = Job.load(entry)
+            except (ValueError, KeyError) as exc:
+                print(f"{entry.name}  (unreadable spec: {exc})")
+                continue
+            status, cells = _job_journal_summary(job)
+            policy = job.spec.policy.to_dict()
+            policy_text = (
+                f"seeds={len(policy['seeds'])}" if policy["kind"] == "fixed"
+                else f"adaptive eps={policy['epsilon']:g}"
+            )
+            print(f"{job.job_id}  {status:<12} {cells:>4} cells  "
+                  f"{policy_text:<20} {','.join(job.spec.experiments)}")
+        return 0
+
+    if args.jobs < 1:
+        print("macaw-sim: --jobs must be >= 1", file=sys.stderr)
+        return 2
+
+    if args.resume is not None:
+        if args.experiments or args.seeds or args.adaptive:
+            print("macaw-sim: --resume takes no spec flags (the saved "
+                  "spec wins)", file=sys.stderr)
+            return 2
+        try:
+            spec = find_job(args.resume, job_dir).spec
+        except (FileNotFoundError, ValueError) as exc:
+            print(f"macaw-sim: {exc}", file=sys.stderr)
+            return 2
+    else:
+        if not args.experiments:
+            print("macaw-sim: sweep needs experiment ids, --resume JOB, "
+                  "or --list", file=sys.stderr)
+            return 2
+        if args.experiments == ["all"]:
+            exp_ids = experiment_ids()
+        else:
+            exp_ids = args.experiments
+            for exp_id in exp_ids:
+                try:
+                    get_experiment(exp_id)
+                except KeyError as exc:
+                    print(exc.args[0], file=sys.stderr)
+                    return 2
+        try:
+            if args.adaptive:
+                if args.seeds is not None:
+                    raise ValueError(
+                        "--seeds and --adaptive are mutually exclusive"
+                    )
+                if args.epsilon is None:
+                    raise ValueError("--adaptive requires --epsilon")
+                policy = AdaptiveSeeds(
+                    epsilon=args.epsilon, metric=args.metric,
+                    min_seeds=args.min_seeds, max_seeds=args.max_seeds,
+                    step=args.step, base_seed=args.seed,
+                    confidence=args.confidence,
+                )
+            else:
+                seeds = _parse_seeds(args.seeds or "3", args.seed)
+                policy = FixedSeeds(seeds=tuple(seeds))
+            schedule = _load_schedule(args.faults, args.chaos)
+            profile = RunProfile(faults=schedule, queue=args.queue)
+            spec = JobSpec(
+                experiments=tuple(exp_ids), policy=policy, profile=profile,
+                duration=args.duration, warmup=args.warmup,
+                collect_digests=not args.no_digest,
+            )
+        except ValueError as exc:
+            print(f"macaw-sim: {exc}", file=sys.stderr)
+            return 2
+
+    cache = ResultCache(args.cache_dir)
+    print(f"job {spec.job_id} -> {Path(job_dir) / spec.job_id}/ "
+          f"(jobs={args.jobs})")
+
+    def on_event(kind: str, payload: dict) -> None:
+        if kind == "cell":
+            note = f" ({payload['attempts']} attempts)" \
+                if payload["attempts"] > 1 else ""
+            print(f"  [{payload['done']:>3}] {payload['exp']} "
+                  f"seed {payload['seed']}: {payload['wall_s']:.2f}s"
+                  f"{note}")
+        elif kind == "stop":
+            print(f"  {payload['exp']}: stopped after {payload['n']} "
+                  f"seeds ({payload['reason']})")
+        elif kind == "interrupt":
+            print(f"\nmacaw-sim: interrupted — draining "
+                  f"{payload['drain']} in-flight cell(s), journaling; "
+                  "^C again to terminate", file=sys.stderr)
+
+    started = time.perf_counter()  # repro-lint: allow=REPRO102 (wall-time report)
+    try:
+        job = run_job(
+            spec, jobs=args.jobs, job_dir=job_dir, cache=cache,
+            retries=args.retries if args.retries is not None
+            else DEFAULT_RETRIES,
+            backoff_s=args.backoff if args.backoff is not None
+            else DEFAULT_BACKOFF_S,
+            on_event=on_event, stop_after=args.stop_after,
+        )
+    except KeyboardInterrupt:
+        print("macaw-sim: sweep terminated", file=sys.stderr)
+        return 130
+    except JournalError as exc:
+        print(f"macaw-sim: {exc}", file=sys.stderr)
+        return 1
+    except (WorkerDeath, CellFailure) as exc:
+        print(f"macaw-sim: {exc}", file=sys.stderr)
+        return 1
+    elapsed = time.perf_counter() - started  # repro-lint: allow=REPRO102
+
+    failed = sum(1 for o in job.outcomes if o.failed_checks)
+    print(f"\njob {job.job_id}: {job.status} — {len(job.outcomes)} cells "
+          f"({job.executed} executed, {job.replayed} replayed, "
+          f"{job.retries} worker retries, {failed} with failed checks) "
+          f"in {elapsed:.1f}s wall")
+    for exp_id, stop in job.stops.items():
+        half = stop["half_width"]
+        half_text = f", CI half-width {half:.3g}" if half is not None else ""
+        print(f"  {exp_id}: {stop['n']} seeds ({stop['reason']}{half_text})")
+    if spec.collect_digests:
+        print(f"  digest set: {job.digest_set()}")
+    if job.interrupted:
+        print(f"  resume with: macaw-sim sweep --resume {job.job_id}"
+              + (f" --job-dir {job_dir}" if args.job_dir is not None else ""))
+        return 130
+    return 0
+
+
+def _job_journal_summary(job) -> tuple:
+    """(status, completed-cell count) from a job's journal, for --list."""
+    from repro.service import JournalError
+
+    try:
+        records = job.journal().load()
+    except JournalError:
+        return "corrupt", 0
+    cells = sum(1 for r in records if r.get("kind") == "cell")
+    status = "running"
+    for record in reversed(records):
+        if record.get("kind") in ("complete", "interrupted"):
+            status = record["kind"]
+            break
+    return status, cells
+
+
 def _report_metrics(outcomes: list, out_dir: Optional[str],
                     interval: float) -> None:
     """Write (or summarize) the metrics series a sweep shipped back."""
@@ -537,6 +845,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return analysis_main(raw[1:])
     if raw and raw[0] == "snapshot":
         return _cmd_snapshot(raw[1:])
+    if raw and raw[0] == "sweep":
+        return _cmd_sweep(raw[1:])
 
     args = _build_parser().parse_args(raw)
 

@@ -431,7 +431,8 @@ def warn_deprecated_kwarg(owner: str, name: str) -> None:
     _warned_kwargs.add(key)
     warnings.warn(
         f"{owner}({name}=...) is deprecated; pass "
-        f"profile=RunProfile({name}=...) instead",
+        f"profile=RunProfile({name}=...) instead "
+        f"(RunProfile is re-exported by the repro.api facade)",
         DeprecationWarning,
         stacklevel=3,
     )

@@ -23,7 +23,7 @@ Quick start::
     from repro.obs import collecting
     from repro.topo.builder import ScenarioBuilder
 
-    builder = ScenarioBuilder(seed=1, metrics=0.5)   # sample every 0.5 s
+    builder = ScenarioBuilder(seed=1, profile=RunProfile(metrics=0.5))
     ...
     scenario = builder.build().run(500)
     t, backoff = scenario.metrics.series("mac.backoff", station="P1")

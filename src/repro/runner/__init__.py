@@ -16,7 +16,7 @@ from repro.runner.cache import (
     profile_hash,
 )
 from repro.runner.cells import Cell, CellResult, expand_cells
-from repro.runner.parallel import run_cells
+from repro.runner.parallel import execute_cell, run_cells
 
 __all__ = [
     "CACHE_DIR_ENV",
@@ -26,6 +26,7 @@ __all__ = [
     "ResultCache",
     "code_version",
     "config_hash",
+    "execute_cell",
     "expand_cells",
     "profile_hash",
     "run_cells",

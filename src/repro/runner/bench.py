@@ -21,6 +21,11 @@ against the committed ``benchmarks/BENCH_engine.json``:
   mid-run checkpoint (``repro.snapshot``) and verifies both agree on the
   horizon event count; ``--write`` folds the numbers into the baseline's
   ``warm_start`` section, which is informational — never gated.
+* ``--sweep`` runs Table 2 through the service orchestrator once with a
+  fixed 8-seed allocation and once under adaptive (CI-driven) stopping,
+  reporting the cells and wall time the adaptive policy saved;
+  ``--write`` folds the numbers into the baseline's ``sweep`` section —
+  informational, never gated.
 * ``--profile FILE`` runs the single-backend table under cProfile and
   dumps the stats to FILE (inspect with ``python -m pstats FILE``).
 
@@ -262,6 +267,63 @@ def measure_warm_start(
     return results
 
 
+def measure_sweep_savings(
+    exp_id: str = "table2",
+    fixed_seeds: int = 8,
+    epsilon: float = 2.0,
+    min_seeds: int = 3,
+    duration: float = 40.0,
+    warmup: float = 5.0,
+) -> Dict[str, Dict[str, float]]:
+    """Adaptive (CI-driven) seed allocation vs a fixed sweep, measured.
+
+    Runs ``exp_id`` twice through the service orchestrator into
+    throwaway job dirs with cold caches: once with a fixed
+    ``fixed_seeds``-seed allocation, once under sequential stopping
+    (:class:`~repro.service.policy.AdaptiveSeeds`, same cap).  Reports
+    cells executed and wall time per strategy — the cells the adaptive
+    policy *didn't* run are the point.  Informational only: the
+    ``--check`` gate never walks this section, and the stop point is a
+    property of the experiment's seed noise, not of engine speed.
+    """
+    import tempfile
+
+    from repro.runner import ResultCache
+    from repro.service import AdaptiveSeeds, FixedSeeds, JobSpec, run_job
+
+    policies = {
+        "fixed_sweep": FixedSeeds(seeds=tuple(range(fixed_seeds))),
+        "adaptive_sweep": AdaptiveSeeds(
+            epsilon=epsilon, min_seeds=min_seeds, max_seeds=fixed_seeds,
+        ),
+    }
+    rows: Dict[str, Dict[str, float]] = {}
+    with tempfile.TemporaryDirectory() as root:
+        for label, policy in policies.items():
+            spec = JobSpec(
+                experiments=(exp_id,), policy=policy,
+                duration=duration, warmup=warmup, collect_digests=False,
+            )
+            started = time.perf_counter()  # repro-lint: allow=REPRO102 (bench)
+            job = run_job(
+                spec,
+                job_dir=Path(root) / f"jobs-{label}",
+                cache=ResultCache(str(Path(root) / f"cache-{label}")),
+            )
+            wall = time.perf_counter() - started  # repro-lint: allow=REPRO102 (bench)
+            stop = job.stops.get(exp_id, {})
+            row: Dict[str, float] = {
+                "cells": float(len(job.outcomes)),
+                "wall_s": round(wall, 4),
+            }
+            if label == "adaptive_sweep":
+                row["epsilon"] = epsilon
+                if stop.get("half_width") is not None:
+                    row["half_width"] = round(stop["half_width"], 4)
+            rows[label] = row
+    return rows
+
+
 # -------------------------------------------------------------- baseline file
 
 def load_baseline(path: Path) -> Dict:
@@ -274,13 +336,15 @@ def write_baseline(
     results: Dict[str, Dict[str, float]],
     backends: Optional[Dict[str, Dict[str, Dict[str, float]]]] = None,
     warm_start: Optional[Dict[str, Dict[str, float]]] = None,
+    sweep: Optional[Dict[str, Dict[str, float]]] = None,
 ) -> None:
     """Write the measured baseline, preserving any frozen ``pre_pr`` block.
 
     ``results`` fills the legacy ``benchmarks`` block (the heap numbers);
     ``backends`` adds the per-backend matrix the ``--check`` gate walks.
-    ``warm_start`` records the checkpoint-restore speedup — informational
-    only, never gated (``check_against`` does not walk it).
+    ``warm_start`` and ``sweep`` record informational sections — the
+    checkpoint-restore speedup and the adaptive-vs-fixed seed-allocation
+    savings — never gated (``check_against`` does not walk them).
     """
     data: Dict = {
         "schema": 2,
@@ -292,7 +356,9 @@ def write_baseline(
             "--write`. 'pre_pr' is the frozen pre-optimization reference "
             "and is never rewritten. 'warm_start' records the informational "
             "checkpoint-restore speedup (six-pad cell, snapshot at t=50 of "
-            "100) and is never gated by --check."
+            "100) and 'sweep' the adaptive-vs-fixed seed-allocation savings "
+            "(table2 via the service orchestrator); neither is gated by "
+            "--check."
         ),
     }
     previous: Dict = {}
@@ -312,6 +378,10 @@ def write_baseline(
         data["warm_start"] = warm_start
     elif "warm_start" in previous:
         data["warm_start"] = previous["warm_start"]
+    if sweep is not None:
+        data["sweep"] = sweep
+    elif "sweep" in previous:
+        data["sweep"] = previous["sweep"]
     path.parent.mkdir(parents=True, exist_ok=True)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(data, handle, indent=2, sort_keys=True)
@@ -403,6 +473,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "checkpoint and verify identical horizon event counts",
     )
     mode.add_argument(
+        "--sweep", action="store_true",
+        help="run table2 once with a fixed 8-seed allocation and once "
+        "under adaptive (CI-driven) stopping; report cells and wall "
+        "time saved",
+    )
+    mode.add_argument(
         "--profile", default=None, metavar="FILE",
         help="run the single-backend table under cProfile and dump "
         "stats to FILE (inspect with 'python -m pstats FILE')",
@@ -438,6 +514,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 0
 
+    if args.sweep:
+        rows = measure_sweep_savings()
+        fixed = rows["fixed_sweep"]
+        adaptive = rows["adaptive_sweep"]
+        for label, row in rows.items():
+            extra = ""
+            if "half_width" in row:
+                extra = (f"  (CI half-width {row['half_width']:.3g} <= "
+                         f"epsilon {row['epsilon']:g})")
+            print(f"{label:<24} {row['cells']:>6.0f} cells "  # repro-lint: allow=REPRO107 (bench CLI output)
+                  f"{row['wall_s']:>8.3f}s{extra}")
+        saved = fixed["cells"] - adaptive["cells"]
+        print(  # repro-lint: allow=REPRO107 (bench CLI output)
+            f"\nadaptive stopping: {saved:.0f} of {fixed['cells']:.0f} "
+            f"cells skipped ({saved / fixed['cells']:.0%}), wall "
+            f"{fixed['wall_s']:.3f}s -> {adaptive['wall_s']:.3f}s"
+        )
+        return 0
+
     if args.profile is not None:
         import cProfile
 
@@ -462,9 +557,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             warm_rows = measure_warm_start(repeats=args.repeats)
             print("-- warm start (informational)")  # repro-lint: allow=REPRO107 (bench CLI output)
             print(_render(warm_rows))  # repro-lint: allow=REPRO107 (bench CLI output)
+            sweep_rows = measure_sweep_savings()
+            print("-- adaptive sweep (informational)")  # repro-lint: allow=REPRO107 (bench CLI output)
+            for label, row in sweep_rows.items():
+                print(f"   {label}: {row['cells']:.0f} cells, "  # repro-lint: allow=REPRO107 (bench CLI output)
+                      f"{row['wall_s']:.3f}s")
             write_baseline(
                 path, matrix.get("heap", {}), backends=matrix,
-                warm_start=warm_rows,
+                warm_start=warm_rows, sweep=sweep_rows,
             )
             print(f"baseline written to {path}")  # repro-lint: allow=REPRO107 (bench CLI output)
             return 0

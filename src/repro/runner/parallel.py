@@ -9,8 +9,9 @@ points keep that true:
   bounds) plus one pinned :class:`~repro.core.config.RunProfile`, and
   re-instantiate the experiment from the registry, so no mutable state
   travels between processes;
-* output order is input order regardless of worker scheduling
-  (``Pool.map`` preserves ordering);
+* output order is input order regardless of worker scheduling (each
+  result carries its grid index; completion order only affects when a
+  result is flushed to the cache);
 * ambient switches (sanitize blocks, metrics collection, the active
   profile) are resolved in the parent and *pinned into the profile*
   before it ships, so a ``with sanitized():`` or ``active_profile(...)``
@@ -35,7 +36,7 @@ from repro.runner.cache import ResultCache, profile_hash
 from repro.runner.cells import Cell, CellResult
 from repro.verify.runtime import sanitize_enabled, sanitized
 
-_WorkerPayload = Tuple[Cell, bool, RunProfile]
+_WorkerPayload = Tuple[int, Cell, bool, RunProfile]
 
 
 def _preferred_context() -> multiprocessing.context.BaseContext:
@@ -44,8 +45,8 @@ def _preferred_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
-def _execute_cell(cell: Cell, collect_digest: bool,
-                  profile: RunProfile) -> CellResult:
+def execute_cell(cell: Cell, collect_digest: bool,
+                 profile: RunProfile) -> CellResult:
     """Run one cell in this process and package the outcome.
 
     ``profile`` arrives pinned (sanitize and metrics resolved to concrete
@@ -84,9 +85,9 @@ def _execute_cell(cell: Cell, collect_digest: bool,
     )
 
 
-def _worker(payload: _WorkerPayload) -> CellResult:
-    cell, collect_digest, profile = payload
-    return _execute_cell(cell, collect_digest, profile)
+def _worker(payload: _WorkerPayload) -> Tuple[int, CellResult]:
+    index, cell, collect_digest, profile = payload
+    return index, execute_cell(cell, collect_digest, profile)
 
 
 def run_cells(
@@ -170,16 +171,29 @@ def run_cells(
             pending.append((index, cell))
 
     if pending:
-        payloads = [(cell, collect_digests, pinned) for _, cell in pending]
-        if jobs == 1 or len(pending) == 1:
-            fresh = [_worker(payload) for payload in payloads]
-        else:
-            ctx = _preferred_context()
-            with ctx.Pool(processes=min(jobs, len(pending))) as pool:
-                fresh = pool.map(_worker, payloads, chunksize=1)
-        for (index, _), outcome in zip(pending, fresh):
+        # Results are stored (and cached) as they *complete*, not after
+        # the whole grid finishes: a KeyboardInterrupt mid-sweep leaves
+        # every finished cell flushed to the cache, so the re-run after
+        # a ^C is pure hits up to the interruption point.  Output order
+        # is restored from the carried index, so ordering — and hence
+        # serial/parallel byte-equality — is unchanged.
+        payloads = [
+            (index, cell, collect_digests, pinned) for index, cell in pending
+        ]
+        def store(index: int, outcome: CellResult) -> None:
             results[index] = outcome
             if cache is not None:
                 cache.put(outcome, config)
+        if jobs == 1 or len(pending) == 1:
+            for payload in payloads:
+                store(*_worker(payload))
+        else:
+            ctx = _preferred_context()
+            # Pool.__exit__ terminates workers, interrupted or not — a
+            # ^C propagates out of the iteration without leaking the pool.
+            with ctx.Pool(processes=min(jobs, len(pending))) as pool:
+                for index, outcome in pool.imap_unordered(
+                        _worker, payloads, chunksize=1):
+                    store(index, outcome)
 
     return [result for result in results if result is not None]

@@ -1,0 +1,285 @@
+"""Retrying cell scheduler: fan cells to workers, survive worker death.
+
+The plain :func:`repro.runner.run_cells` pool assumes every worker lives
+to return its result — fine for a one-shot sweep, wrong for a
+long-running job where an OOM kill or a node reaper must not sink the
+whole campaign.  This scheduler runs **one process per cell** (reusing
+:func:`repro.runner.parallel.execute_cell`, so results are byte-identical
+to ``run_cells``), watches child exit codes, and re-dispatches a cell
+whose worker died without reporting — with exponential backoff, up to a
+retry cap.  An exception *inside* the cell (deterministic: it would fail
+every retry) is not retried; it surfaces immediately.
+
+Cells are submitted incrementally (the adaptive seed policy extends a
+job mid-flight) and reaped in completion order; determinism is the
+caller's concern — every cell is an independent seeded universe, so
+arrival order never affects results, and the orchestrator journals and
+re-orders them by identity.
+
+``jobs=1`` executes inline in the calling process: no subprocesses, no
+retry machinery (there is no worker to die), identical results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from repro.core.config import RunProfile
+from repro.runner.cells import Cell, CellResult
+from repro.runner.parallel import _preferred_context, execute_cell
+
+__all__ = [
+    "ATTEMPT_ENV",
+    "DEFAULT_BACKOFF_S",
+    "DEFAULT_RETRIES",
+    "CellFailure",
+    "CellScheduler",
+    "Reaped",
+    "WorkerDeath",
+]
+
+#: Environment variable naming the dispatch attempt (1-based) inside a
+#: worker process — observable by fault-injection tests that crash a
+#: cell's first attempt only.
+ATTEMPT_ENV = "REPRO_SERVICE_ATTEMPT"
+
+#: Default worker-death retries per cell before the job fails.
+DEFAULT_RETRIES = 2
+
+#: Default backoff base: retry N waits backoff * 2**(N-1) wall seconds.
+DEFAULT_BACKOFF_S = 0.5
+
+
+class WorkerDeath(RuntimeError):
+    """A cell's worker died on every allowed attempt."""
+
+
+class CellFailure(RuntimeError):
+    """A cell raised inside the experiment (deterministic; not retried)."""
+
+
+def _child_main(
+    conn: Any, cell: Cell, collect_digest: bool, profile: RunProfile,
+    attempt: int,
+) -> None:
+    """Worker body: run one cell, ship the result, exit.
+
+    SIGINT is ignored so a terminal ^C (delivered to the whole process
+    group) interrupts only the *scheduler*, which then drains in-flight
+    cells instead of losing them.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    os.environ[ATTEMPT_ENV] = str(attempt)
+    try:
+        result = execute_cell(cell, collect_digest, profile)
+    except BaseException as exc:  # deterministic failure: report, don't die
+        import traceback
+
+        conn.send(("error", f"{type(exc).__name__}: {exc}\n"
+                   f"{traceback.format_exc()}"))
+        conn.close()
+        return
+    conn.send(("ok", result))
+    conn.close()
+
+
+@dataclass
+class _InFlight:
+    key: Any
+    cell: Cell
+    attempt: int
+    process: Any
+    conn: Any
+    payload: Optional[Tuple[str, Any]] = None
+
+
+@dataclass
+class _Queued:
+    key: Any
+    cell: Cell
+    attempt: int
+    #: Earliest wall time this dispatch may happen (retry backoff).
+    not_before: float = 0.0
+
+
+@dataclass
+class Reaped:
+    """One completed cell handed back to the orchestrator."""
+
+    key: Any
+    result: CellResult
+    attempts: int
+
+
+@dataclass
+class CellScheduler:
+    """Dispatch cells to (at most ``jobs``) workers; reap as they finish."""
+
+    profile: RunProfile
+    collect_digests: bool = True
+    jobs: int = 1
+    retries: int = DEFAULT_RETRIES
+    backoff_s: float = DEFAULT_BACKOFF_S
+
+    _queue: List[_Queued] = field(default_factory=list)
+    _running: List[_InFlight] = field(default_factory=list)
+    _retried: int = 0
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs!r}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries!r}")
+        self._ctx = _preferred_context() if self.jobs > 1 else None
+
+    # ------------------------------------------------------------- submit
+    def submit(self, key: Any, cell: Cell) -> None:
+        """Enqueue one cell; dispatch happens inside :meth:`reap`."""
+        self._queue.append(_Queued(key=key, cell=cell, attempt=1))
+
+    @property
+    def outstanding(self) -> int:
+        """Cells submitted but not yet reaped."""
+        return len(self._queue) + len(self._running)
+
+    @property
+    def in_flight(self) -> int:
+        """Cells currently running in a worker (the drain set: queued
+        cells are never dispatched once draining starts)."""
+        return len(self._running)
+
+    @property
+    def worker_retries(self) -> int:
+        """Worker-death retries performed so far."""
+        return self._retried
+
+    # --------------------------------------------------------------- reap
+    def reap(self, accept_new: bool = True,
+             timeout: float = 0.2) -> List[Reaped]:
+        """Dispatch what fits, wait briefly, return finished cells.
+
+        ``accept_new=False`` stops dispatching queued cells (the SIGINT
+        drain: in-flight workers finish, the queue stays put).  Returns
+        completed cells in completion order; empty when nothing finished
+        within ``timeout``.
+        """
+        if self.jobs == 1:
+            return self._reap_inline(accept_new)
+        self._dispatch(accept_new)
+        if not self._running:
+            if self._queue and accept_new:
+                # Everything queued is backing off: wait the shorter of
+                # the poll timeout and the earliest retry slot.
+                now = time.monotonic()  # repro-lint: allow=REPRO102 (retry backoff is wall time)
+                earliest = min(task.not_before for task in self._queue)
+                time.sleep(min(timeout, max(0.0, earliest - now)))
+            return []
+        conns = [flight.conn for flight in self._running]
+        multiprocessing.connection.wait(conns, timeout)
+        done: List[Reaped] = []
+        still: List[_InFlight] = []
+        for flight in self._running:
+            outcome = self._collect(flight)
+            if outcome is None:
+                still.append(flight)
+            elif outcome:
+                done.extend(outcome)
+        self._running = still
+        return done
+
+    def _reap_inline(self, accept_new: bool) -> List[Reaped]:
+        """jobs=1: run the next queued cell in this process."""
+        if not accept_new or not self._queue:
+            return []
+        task = self._queue.pop(0)
+        os.environ[ATTEMPT_ENV] = str(task.attempt)
+        try:
+            result = execute_cell(task.cell, self.collect_digests, self.profile)
+        finally:
+            os.environ.pop(ATTEMPT_ENV, None)
+        return [Reaped(key=task.key, result=result, attempts=task.attempt)]
+
+    def _dispatch(self, accept_new: bool) -> None:
+        if not accept_new:
+            return
+        now = time.monotonic()  # repro-lint: allow=REPRO102 (retry backoff is wall time)
+        ready = [t for t in self._queue if t.not_before <= now]
+        while ready and len(self._running) < self.jobs:
+            task = ready.pop(0)
+            self._queue.remove(task)
+            parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+            process = self._ctx.Process(
+                target=_child_main,
+                args=(child_conn, task.cell, self.collect_digests,
+                      self.profile, task.attempt),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._running.append(_InFlight(
+                key=task.key, cell=task.cell, attempt=task.attempt,
+                process=process, conn=parent_conn,
+            ))
+
+    def _collect(self, flight: _InFlight) -> Optional[List[Reaped]]:
+        """Outcome of one in-flight worker: None = still running,
+        [] = retried after death, [Reaped] = done."""
+        if flight.payload is None and flight.conn.poll():
+            try:
+                flight.payload = flight.conn.recv()
+            except (EOFError, OSError):
+                flight.payload = None  # died mid-send: treat as death below
+        if flight.payload is not None:
+            kind, value = flight.payload
+            flight.process.join()
+            flight.conn.close()
+            if kind == "error":
+                raise CellFailure(
+                    f"cell ({flight.cell.exp_id}, seed {flight.cell.seed}) "
+                    f"failed deterministically:\n{value}"
+                )
+            return [Reaped(key=flight.key, result=value,
+                           attempts=flight.attempt)]
+        if flight.process.is_alive():
+            return None
+        # Dead without a result: worker death.  Retry with backoff.
+        flight.process.join()
+        flight.conn.close()
+        if flight.attempt > self.retries:
+            raise WorkerDeath(
+                f"worker for cell ({flight.cell.exp_id}, seed "
+                f"{flight.cell.seed}) died (exit code "
+                f"{flight.process.exitcode}) on attempt {flight.attempt}; "
+                f"retry budget ({self.retries}) exhausted"
+            )
+        delay = self.backoff_s * (2 ** (flight.attempt - 1))
+        self._retried += 1
+        self._queue.append(_Queued(
+            key=flight.key, cell=flight.cell, attempt=flight.attempt + 1,
+            not_before=time.monotonic() + delay,  # repro-lint: allow=REPRO102 (retry backoff is wall time)
+        ))
+        return []
+
+    # -------------------------------------------------------------- close
+    def drain(self) -> List[Reaped]:
+        """Finish every in-flight worker (no new dispatches); reap all."""
+        done: List[Reaped] = []
+        while self._running:
+            done.extend(self.reap(accept_new=False, timeout=0.2))
+        return done
+
+    def close(self, terminate: bool = False) -> None:
+        """Release workers.  ``terminate=True`` kills in-flight cells."""
+        for flight in self._running:
+            if terminate:
+                flight.process.terminate()
+            flight.process.join()
+            flight.conn.close()
+        self._running = []
+        self._queue = []

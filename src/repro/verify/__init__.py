@@ -17,8 +17,8 @@ Two independent layers keep the reproduction honest:
   immutability, order-stable iteration and kernel-callback discipline.
   Run it with ``macaw-sim analyze src/repro``; see DESIGN.md §10.
 
-Sanitized runs are opted into per scenario (``ScenarioBuilder(sanitize=
-True)``), globally (:func:`repro.verify.runtime.force_sanitize` or the
+Sanitized runs are opted into per scenario (``ScenarioBuilder(
+profile=RunProfile(sanitize=True))``), globally (:func:`repro.verify.runtime.force_sanitize` or the
 ``REPRO_SANITIZE`` environment variable), or from the command line
 (``macaw-sim verify-trace <experiment>``).
 """

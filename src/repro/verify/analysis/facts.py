@@ -54,6 +54,18 @@ MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "deque", "defaultdict"}
 #: dataclass construction idiom.
 INIT_FAMILY = {"__init__", "__post_init__", "__setattr__", "__new__"}
 
+#: Legacy keyword surfaces REPRO115 polices: callable -> kwargs that
+#: moved into :class:`~repro.core.config.RunProfile`.  Mirrors the
+#: ``_LEGACY_KWARGS`` shim in ``topo/builder.py`` and the deprecated
+#: ``run_cells`` spellings; keep the three lists in sync.
+LEGACY_API_KWARGS = {
+    "ScenarioBuilder": frozenset({
+        "bitrate_bps", "trace", "grid_kwargs", "queue_capacity",
+        "timing", "sanitize", "metrics", "faults",
+    }),
+    "run_cells": frozenset({"sanitize", "metrics_interval"}),
+}
+
 _SET_ANNOTATIONS = {"set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet"}
 _SET_METHODS = {"union", "intersection", "difference", "symmetric_difference", "copy"}
 _SCHEDULE_ATTRS = {"schedule", "at", "call_soon"}
@@ -111,6 +123,9 @@ class CallEvent:
     object_setattr: bool = False
     sim_run_call: bool = False
     at_constant_time: bool = False
+    #: Keywords at this call site that hit the deprecated kwarg shim
+    #: (see :data:`LEGACY_API_KWARGS`); empty for every other call.
+    legacy_api_kwargs: Tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -502,6 +517,15 @@ class _FactsVisitor(ast.NodeVisitor):
             and isinstance(node.args[0].value, (int, float))
             and not isinstance(node.args[0].value, bool)
         )
+        shim = LEGACY_API_KWARGS.get(
+            func_name if func_name is not None else (func_attr or "")
+        )
+        legacy_api_kwargs: Tuple[str, ...] = ()
+        if shim:
+            legacy_api_kwargs = tuple(sorted(
+                keyword.arg for keyword in node.keywords
+                if keyword.arg is not None and keyword.arg in shim
+            ))
         self.facts.call_events.append(CallEvent(
             line=node.lineno,
             col=node.col_offset,
@@ -516,6 +540,7 @@ class _FactsVisitor(ast.NodeVisitor):
             object_setattr=object_setattr,
             sim_run_call=sim_run_call,
             at_constant_time=at_constant_time,
+            legacy_api_kwargs=legacy_api_kwargs,
         ))
         self._note_callback_registration(node)
         # sum()/math.fsum() directly over an unordered set.

@@ -49,6 +49,7 @@ __all__ = [
 KNOWN_PACKAGES: FrozenSet[str] = frozenset({
     "sim", "phy", "mac", "core", "net", "topo", "experiments",
     "analysis", "obs", "verify", "fault", "runner", "snapshot",
+    "service",
 })
 
 _STACK_BELOW_NET = frozenset({"sim", "phy", "mac", "core"})
@@ -82,6 +83,13 @@ LAYER_ALLOWED_IMPORTS: Dict[str, FrozenSet[str]] = {
     "snapshot": frozenset(
         _STACK_ALL | {"fault", "obs", "runner", "snapshot"}
     ),
+    # The sweep service orchestrates runner cells under policies: it
+    # sits above runner (journal + scheduler + seed policy) and, like
+    # runner, pins ambient obs/verify switches into the profile.
+    "service": frozenset(
+        _STACK_ALL | {"experiments", "obs", "verify", "fault",
+                      "runner", "service"}
+    ),
     # The CLI and the top-level package tie everything together.
     "cli": frozenset(KNOWN_PACKAGES | {"", "cli"}),
     "": frozenset(KNOWN_PACKAGES | {"", "cli"}),
@@ -99,6 +107,10 @@ HOOK_EXCEPTIONS: FrozenSet[Tuple[str, str]] = frozenset({
     # Warm-start hook: build() hands the finished scenario to the
     # snapshot subsystem when the profile carries a WarmStart.
     ("topo/builder.py", "snapshot"),
+    # Bench hook: the engine bench measures the sweep orchestrator's
+    # adaptive-vs-fixed savings, so its (lazy, measurement-only) import
+    # reaches one layer up.  Nothing else in runner touches service.
+    ("runner/bench.py", "service"),
 })
 
 #: Packages exempt from REPRO110's cross-layer *private attribute* check.

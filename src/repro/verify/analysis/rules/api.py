@@ -1,0 +1,41 @@
+"""REPRO115 legacy-api-kwargs.
+
+PR 4 moved per-run knobs (``sanitize``, ``metrics``, ``trace``,
+``faults``, …) off the ``ScenarioBuilder``/``run_cells`` signatures and
+into :class:`~repro.core.config.RunProfile`; the old spellings survive
+only as a ``DeprecationWarning`` shim.  This rule stops *new* in-tree
+callers from reaching for the shim: any call site passing a shimmed
+keyword is flagged and pointed at ``profile=RunProfile(...)`` (or the
+:mod:`repro.api` facade).  Existing violators — there are none today —
+would live in the committed baseline, which is only allowed to shrink.
+
+The shimmed surface is :data:`~repro.verify.analysis.facts
+.LEGACY_API_KWARGS`; extraction happens in the fact pass, so the rule
+itself is a pure filter.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.verify.analysis.facts import ModuleFacts
+from repro.verify.analysis.findings import Finding
+from repro.verify.analysis.project import ProjectIndex
+from repro.verify.analysis.registry import rule
+
+
+@rule("REPRO115", name="legacy-api-kwargs",
+      summary="no new callers of deprecated kwarg shims; use RunProfile")
+def check_legacy_api_kwargs(
+    facts: ModuleFacts, project: Optional[ProjectIndex]
+) -> Iterator[Finding]:
+    for event in facts.call_events:
+        if not event.legacy_api_kwargs:
+            continue
+        callee = event.func_name or event.func_attr
+        kwargs = ", ".join(event.legacy_api_kwargs)
+        yield Finding(
+            facts.path, event.line, event.col, "REPRO115",
+            f"{callee}() passes deprecated kwarg(s) {kwargs}; set them on"
+            f" profile=RunProfile(...) instead (see repro.api)",
+        )

@@ -1,0 +1,94 @@
+"""Journal chain integrity, torn-tail tolerance, digest-set hashing."""
+
+import json
+
+import pytest
+
+from repro.service.journal import (
+    GENESIS,
+    Journal,
+    JournalError,
+    chain_hash,
+    digest_set_hash,
+)
+
+
+def test_append_load_round_trip(tmp_path):
+    journal = Journal(tmp_path / "j.jsonl")
+    journal.append({"kind": "job", "n": 1})
+    journal.append({"kind": "cell", "n": 2})
+    records = Journal(tmp_path / "j.jsonl").load()
+    assert [r["n"] for r in records] == [1, 2]
+    assert records[0]["prev"] == GENESIS
+    first_line = (tmp_path / "j.jsonl").read_text().splitlines()[0]
+    assert records[1]["prev"] == chain_hash(first_line)
+
+
+def test_append_rejects_caller_prev(tmp_path):
+    journal = Journal(tmp_path / "j.jsonl")
+    with pytest.raises(ValueError, match="journal-managed"):
+        journal.append({"kind": "cell", "prev": "forged"})
+
+
+def test_missing_file_loads_empty(tmp_path):
+    journal = Journal(tmp_path / "absent.jsonl")
+    assert journal.load() == []
+    assert journal.tip == GENESIS
+
+
+def test_torn_final_line_dropped(tmp_path):
+    journal = Journal(tmp_path / "j.jsonl")
+    journal.append({"n": 1})
+    journal.append({"n": 2})
+    path = tmp_path / "j.jsonl"
+    text = path.read_text()
+    # Crash mid-append: the last line is half-written, no newline.
+    path.write_text(text + '{"n": 3, "prev": "' )
+    records = Journal(path).load()
+    assert [r["n"] for r in records] == [1, 2]
+
+
+def test_append_after_load_continues_chain(tmp_path):
+    path = tmp_path / "j.jsonl"
+    Journal(path).append({"n": 1})
+    journal = Journal(path)
+    journal.load()
+    journal.append({"n": 2})
+    assert [r["n"] for r in Journal(path).load()] == [1, 2]
+
+
+def test_mid_file_tamper_detected(tmp_path):
+    path = tmp_path / "j.jsonl"
+    journal = Journal(path)
+    for n in range(3):
+        journal.append({"n": n})
+    lines = path.read_text().splitlines()
+    record = json.loads(lines[1])
+    record["n"] = 99  # rewrite history
+    lines[1] = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(JournalError, match="chain break"):
+        Journal(path).load()
+
+
+def test_mid_file_garbage_detected(tmp_path):
+    path = tmp_path / "j.jsonl"
+    journal = Journal(path)
+    journal.append({"n": 1})
+    journal.append({"n": 2})
+    lines = path.read_text().splitlines()
+    path.write_text(lines[0] + "\nnot json\n" + lines[1] + "\n")
+    with pytest.raises(JournalError, match="unparseable"):
+        Journal(path).load()
+
+
+def test_digest_set_hash_order_independent():
+    forward = digest_set_hash(["aa", "bb", "cc"])
+    shuffled = digest_set_hash(["cc", "aa", "bb"])
+    assert forward == shuffled
+    assert digest_set_hash(["aa", "bb"]) != forward
+
+
+def test_digest_set_hash_none_marker():
+    assert digest_set_hash([None, "aa"]) == digest_set_hash(["aa", None])
+    assert digest_set_hash([None]) != digest_set_hash([])

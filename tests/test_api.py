@@ -1,0 +1,77 @@
+"""The repro.api facade: one import surface, legacy paths intact."""
+
+import pytest
+
+import repro.api as api
+
+
+def test_all_names_resolve():
+    assert api.__all__ == sorted(api.__all__)
+    for name in api.__all__:
+        assert getattr(api, name) is not None, name
+
+
+def test_facade_matches_legacy_objects():
+    # The facade re-exports the same objects, not copies.
+    from repro.core.config import RunProfile
+    from repro.runner import ResultCache
+    from repro.service import JobSpec
+    from repro.topo import ScenarioBuilder
+
+    assert api.RunProfile is RunProfile
+    assert api.ResultCache is ResultCache
+    assert api.JobSpec is JobSpec
+    assert api.ScenarioBuilder is ScenarioBuilder
+
+
+def test_load_experiment_accepts_id_or_instance():
+    exp = api.load_experiment("table9")
+    assert exp.spec.exp_id == "table9"
+    assert api.load_experiment(exp) is exp
+    with pytest.raises(KeyError):
+        api.load_experiment("table99")
+
+
+def test_run_returns_experiment_result():
+    result = api.run("table9", seed=3, duration=40.0, warmup=5.0)
+    assert result.spec.exp_id == "table9"
+    assert result.seed == 3
+    assert result.digest is None
+    with_digest = api.run("table9", seed=3, duration=40.0, warmup=5.0,
+                          collect_digest=True)
+    assert with_digest.digest is not None
+
+
+def test_sweep_fixed_seed_count(tmp_path):
+    job = api.sweep(
+        "table9", seeds=2, duration=40.0, warmup=5.0,
+        job_dir=tmp_path / "jobs",
+        cache=api.ResultCache(str(tmp_path / "cache")),
+    )
+    assert job.status == "complete"
+    assert [o.cell.seed for o in job.outcomes] == [0, 1]
+    assert job.digest_set()
+
+
+def test_sweep_explicit_seeds_and_policy_are_exclusive(tmp_path):
+    with pytest.raises(ValueError, match="not both"):
+        api.sweep("table9", seeds=[0, 1],
+                  policy=api.FixedSeeds(seeds=(0, 1)),
+                  job_dir=tmp_path)
+
+
+def test_sweep_rejects_unknown_experiment(tmp_path):
+    with pytest.raises(KeyError):
+        api.sweep("table99", seeds=1, job_dir=tmp_path)
+
+
+def test_scenario_quickstart_surface():
+    builder = api.ScenarioBuilder(seed=1, protocol="macaw")
+    builder.add_base("B")
+    builder.add_pad("P1")
+    builder.clique("B", "P1")
+    builder.udp("P1", "B", rate_pps=16.0)
+    scenario = builder.build().run(5.0)
+    throughputs = scenario.throughputs(warmup=1.0)
+    assert throughputs
+    assert 0.0 <= api.jain_fairness(list(throughputs.values())) <= 1.0

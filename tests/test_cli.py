@@ -234,3 +234,40 @@ def test_experiment_accepts_faults_spec_file(tmp_path, capsys):
 def test_experiment_rejects_unreadable_faults_spec(capsys, tmp_path):
     assert main(["table9", "--faults", str(tmp_path / "missing.json")]) == 2
     assert "cannot read --faults spec" in capsys.readouterr().err
+
+
+def test_sweep_without_experiments_returns_2(capsys, tmp_path):
+    assert main(["sweep", "--job-dir", str(tmp_path)]) == 2
+    assert "needs experiment ids" in capsys.readouterr().err
+
+
+def test_sweep_unknown_experiment_returns_2(capsys, tmp_path):
+    assert main(["sweep", "table99", "--job-dir", str(tmp_path)]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_sweep_seeds_and_adaptive_conflict(capsys, tmp_path):
+    code = main(["sweep", "table9", "--seeds", "2", "--adaptive",
+                 "--epsilon", "1", "--job-dir", str(tmp_path)])
+    assert code == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_sweep_adaptive_requires_epsilon(capsys, tmp_path):
+    assert main(["sweep", "table9", "--adaptive",
+                 "--job-dir", str(tmp_path)]) == 2
+    assert "requires --epsilon" in capsys.readouterr().err
+
+
+def test_sweep_resume_rejects_spec_flags(capsys, tmp_path):
+    code = main(["sweep", "table9", "--resume", "abc",
+                 "--job-dir", str(tmp_path)])
+    assert code == 2
+    assert "takes no spec flags" in capsys.readouterr().err
+
+
+def test_sweep_resume_unknown_job_returns_2(capsys, tmp_path):
+    code = main(["sweep", "--resume", "ffffffffffff",
+                 "--job-dir", str(tmp_path)])
+    assert code == 2
+    assert "no job matching" in capsys.readouterr().err

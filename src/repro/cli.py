@@ -22,6 +22,9 @@ Usage::
     macaw-sim sweep table2 --adaptive --epsilon 2.0 --max-seeds 16
     macaw-sim sweep --resume 3f9c2a1b04de
     macaw-sim sweep --list
+    macaw-sim diff table2 fig1 --duration 60 --warmup 10
+    macaw-sim diff table2 --full --seeds 0,1
+    macaw-sim fuzz --budget 25 --seed from-run-id
 
 ``--seeds`` accepts either a count (``--seeds 4`` runs seed..seed+3) or an
 explicit comma-separated list (``--seeds 0,1,2,3``).  ``--jobs N`` fans the
@@ -847,6 +850,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_snapshot(raw[1:])
     if raw and raw[0] == "sweep":
         return _cmd_sweep(raw[1:])
+    if raw and raw[0] == "diff":
+        from repro.verify.diff.cli import main_diff
+
+        return main_diff(raw[1:])
+    if raw and raw[0] == "fuzz":
+        from repro.verify.diff.cli import main_fuzz
+
+        return main_fuzz(raw[1:])
 
     args = _build_parser().parse_args(raw)
 

@@ -55,8 +55,21 @@ def bands(series_sets: Sequence[Sequence[dict]]) -> List[dict]:
                 points = grouped[key] = {}
                 order.append(key)
                 exemplar[key] = record
+            seen: set = set()
             for t, v in zip(record["t"], record["v"]):
-                points.setdefault(float(t), []).append(float(v))
+                t = float(t)
+                if t in seen:
+                    # Within one seed's record a sample time must be
+                    # unique: merging duplicates would silently inflate
+                    # that seed's weight in the band (cross-seed
+                    # alignment on equal times is the whole point and
+                    # stays as-is).
+                    raise ValueError(
+                        f"duplicate sample time {t!r} within series "
+                        f"run={key[0]} name={key[1]!r} labels={dict(key[2])}"
+                    )
+                seen.add(t)
+                points.setdefault(t, []).append(float(v))
 
     merged: List[dict] = []
     for key in order:

@@ -42,9 +42,36 @@ CACHE_DIR_ENV = "MACAW_CACHE_DIR"
 DEFAULT_CACHE_DIR = ".macaw_cache"
 
 #: Age (seconds) past which an orphaned ``*.tmp`` write is considered
-#: abandoned and swept at cache startup.  Old enough that a live pool
-#: worker's in-flight write can never be yanked out from under it.
+#: abandoned and swept at cache startup.  Applies only to legacy tmp
+#: names that carry no writer pid; pid-tagged tmps are swept as soon as
+#: their writer is gone, and never while it is alive.
 TMP_SWEEP_AGE_S = 3600.0
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (signal-0 probe)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, owned elsewhere
+        return True
+    except OSError:  # pragma: no cover - e.g. platforms without kill
+        return True
+    return True
+
+
+def _tmp_writer_pid(name: str) -> Optional[int]:
+    """The writer pid encoded in a ``*.<pid>.tmp`` name, or None (legacy)."""
+    parts = name.split(".")
+    if len(parts) >= 3 and parts[-1] == "tmp":
+        try:
+            return int(parts[-2])
+        except ValueError:
+            return None
+    return None
 
 _code_version_memo: Optional[str] = None
 
@@ -116,9 +143,13 @@ class ResultCache:
         dying between the two strands the temp file forever (its name is
         random, so no later write ever replaces it).  Swept entries are
         never *served* regardless — :meth:`get` only opens ``*.pkl`` —
-        this is purely a disk-hygiene pass.  Only files older than
-        :data:`TMP_SWEEP_AGE_S` go, so a concurrent worker mid-write
-        (sharing this directory right now) is never raced.
+        this is purely a disk-hygiene pass.
+
+        Tmp names embed the writer's pid (``…<pid>.tmp``), so a file is
+        swept exactly when its writer is gone — an age cutoff alone
+        would yank a still-running worker's slow write out from under it
+        the moment it crossed the threshold.  Legacy pid-less names fall
+        back to the :data:`TMP_SWEEP_AGE_S` cutoff.
         """
         try:
             stale = list(self.directory.glob("*.tmp"))
@@ -126,8 +157,12 @@ class ResultCache:
             return
         cutoff = time.time() - TMP_SWEEP_AGE_S  # repro-lint: allow=REPRO102 (file mtime age, not sim time)
         for tmp in stale:
+            pid = _tmp_writer_pid(tmp.name)
             try:
-                if tmp.stat().st_mtime <= cutoff:
+                if pid is not None:
+                    if not _pid_alive(pid):
+                        tmp.unlink()
+                elif tmp.stat().st_mtime <= cutoff:
                     tmp.unlink()
             except OSError:  # pragma: no cover - raced or perms; harmless
                 continue
@@ -171,17 +206,31 @@ class ResultCache:
         return result
 
     def put(self, result: CellResult, config: str, version: Optional[str] = None) -> None:
-        """Store a finished cell atomically (tmp file + rename)."""
+        """Store a finished cell atomically (pid-tagged tmp file + rename).
+
+        A sweeper running under the pre-pid sweep logic (or after pid
+        reuse) can still unlink the tmp between write and rename; the
+        result is good, so the write is simply retried once rather than
+        failing the cell.
+        """
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._path(self.key(result.cell, config, version))
-        fd, tmp = tempfile.mkstemp(dir=str(self.directory), suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        except BaseException:
+        for attempt in (0, 1):
+            fd, tmp = tempfile.mkstemp(
+                dir=str(self.directory), suffix=f".{os.getpid()}.tmp"
+            )
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except FileNotFoundError:
+                if attempt == 0:
+                    continue
+                raise
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            return

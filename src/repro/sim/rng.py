@@ -27,15 +27,31 @@ class RandomStreams:
     def __init__(self, seed: int = 0) -> None:
         self.seed = int(seed)
         self._streams: Dict[str, np.random.Generator] = {}
+        self._keys: Dict[int, str] = {}
 
     def get(self, name: str) -> np.random.Generator:
-        """Return (creating on first use) the generator for ``name``."""
+        """Return (creating on first use) the generator for ``name``.
+
+        Raises :class:`ValueError` when ``crc32(name)`` collides with a
+        previously created stream of a *different* name: the two would
+        silently share one seed sequence, so every draw on one would be
+        correlated with the other — the opposite of the independence
+        this class exists to provide.
+        """
         stream = self._streams.get(name)
         if stream is None:
             key = zlib.crc32(name.encode("utf-8"))
+            owner = self._keys.get(key)
+            if owner is not None and owner != name:
+                raise ValueError(
+                    f"stream name {name!r} collides with existing stream "
+                    f"{owner!r} under crc32 (key {key}); the two would share "
+                    f"one generator seed — rename one of them"
+                )
             sequence = np.random.SeedSequence(entropy=(self.seed, key))
             stream = np.random.default_rng(sequence)
             self._streams[name] = stream
+            self._keys[key] = name
         return stream
 
     def uniform_slots(self, name: str, low: int, high: int) -> int:

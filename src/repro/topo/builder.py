@@ -54,7 +54,9 @@ from repro.verify.runtime import (
     digests_enabled,
     note_digest,
     note_report,
+    note_trace,
     sanitize_enabled,
+    traces_enabled,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -89,6 +91,10 @@ class Scenario:
         #: :func:`repro.verify.runtime.capturing_digests` block is active),
         #: every :meth:`run` reports the trace digest to the capture sink.
         self.report_digest = False
+        #: Like :attr:`report_digest`, but for the full record list
+        #: (:func:`repro.verify.runtime.capturing_traces`) — the
+        #: differential bisector's event-level view.
+        self.report_trace = False
         #: Report from the most recent :meth:`verify` / sanitized run.
         self.conformance: Optional[ConformanceReport] = None
         #: Live metrics handle (:class:`repro.obs.probes.ScenarioMetrics`);
@@ -119,6 +125,8 @@ class Scenario:
         self.duration = duration
         if self.report_digest:
             note_digest(self.sim.trace.digest())
+        if self.report_trace:
+            note_trace(list(self.sim.trace))
         if self.metrics is not None:
             note_metrics(self.metrics.dump())
         if self.sanitize:
@@ -462,9 +470,12 @@ class ScenarioBuilder:
         profile = self.profile
         sanitize = sanitize_enabled(profile.sanitize)
         report_digest = digests_enabled()
+        report_trace = traces_enabled()
         sim = Simulator(
             seed=self.seed,
-            trace=Trace(enabled=profile.trace or sanitize or report_digest),
+            trace=Trace(
+                enabled=profile.trace or sanitize or report_digest or report_trace
+            ),
             queue=profile.queue,
         )
         if self.medium_kind == "graph":
@@ -476,6 +487,7 @@ class ScenarioBuilder:
         recorder = FlowRecorder()
         scenario = Scenario(sim, medium, recorder, sanitize=sanitize)
         scenario.report_digest = report_digest
+        scenario.report_trace = report_trace
         timing = profile.timing if profile.timing is not None else MacTiming(
             bitrate_bps=profile.bitrate_bps
         )

@@ -44,7 +44,7 @@ __all__ = [
 
 #: Bumped whenever extraction or rule semantics change; part of every
 #: cache key so stale caches can never resurface old findings.
-ENGINE_VERSION = "2"
+ENGINE_VERSION = "3"
 
 _ALLOW_RE = re.compile(r"#\s*repro-lint:\s*allow=([A-Za-z0-9_,\s]+)")
 

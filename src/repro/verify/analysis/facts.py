@@ -120,6 +120,9 @@ class CallEvent:
     is_print: bool = False
     fault_private_universe: bool = False
     fault_stream_violation: bool = False
+    #: ``streams.get("fuzz:...")``-style call — the fuzzer's reserved
+    #: substream namespace (REPRO116 confines it to repro/verify/diff/).
+    fuzz_stream_call: bool = False
     object_setattr: bool = False
     sim_run_call: bool = False
     at_constant_time: bool = False
@@ -174,6 +177,8 @@ class ModuleFacts:
     is_phy_module: bool = False
     is_telemetry_module: bool = False
     is_fault_module: bool = False
+    #: Under ``verify/diff/`` — the differential oracle/fuzzer subtree.
+    is_diff_module: bool = False
     is_init_module: bool = False
 
     imports: List[ImportBinding] = field(default_factory=list)
@@ -441,31 +446,37 @@ class _FactsVisitor(ast.NodeVisitor):
 
     # ---------------------------------------------------------------- calls
     @staticmethod
-    def _stream_name_prefix_ok(arg: ast.expr) -> Optional[bool]:
-        """Whether a stream-name argument starts with ``fault:``."""
+    def _stream_name_head(arg: ast.expr) -> Optional[str]:
+        """The literal head of a stream-name argument, if statically known.
+
+        Plain string constants yield themselves; f-strings yield their
+        leading literal chunk (enough to judge a ``fault:``/``fuzz:``
+        namespace prefix); anything dynamic yields None.
+        """
         if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
-            return arg.value.startswith("fault:")
+            return arg.value
         if isinstance(arg, ast.JoinedStr) and arg.values:
             head = arg.values[0]
             if isinstance(head, ast.Constant) and isinstance(head.value, str):
-                return head.value.startswith("fault:")
+                return head.value
         return None
 
-    def _fault_stream_violation(self, node: ast.Call) -> bool:
+    def _stream_call_literal(self, node: ast.Call) -> Optional[str]:
+        """The literal stream-name head of a ``streams.get``-style call."""
         func = node.func
         if not (
             isinstance(func, ast.Attribute)
             and func.attr in ("get", "uniform_slots")
         ):
-            return False
+            return None
         owner = func.value
         owner_is_streams = (
             (isinstance(owner, ast.Attribute) and owner.attr == "streams")
             or (isinstance(owner, ast.Name) and owner.id == "streams")
         )
         if not owner_is_streams or not node.args:
-            return False
-        return self._stream_name_prefix_ok(node.args[0]) is False
+            return None
+        return self._stream_name_head(node.args[0])
 
     def _note_callback_registration(self, node: ast.Call) -> None:
         """Record callbacks handed to the kernel (or a Timer/builder)."""
@@ -526,6 +537,7 @@ class _FactsVisitor(ast.NodeVisitor):
                 keyword.arg for keyword in node.keywords
                 if keyword.arg is not None and keyword.arg in shim
             ))
+        stream_literal = self._stream_call_literal(node)
         self.facts.call_events.append(CallEvent(
             line=node.lineno,
             col=node.col_offset,
@@ -536,7 +548,14 @@ class _FactsVisitor(ast.NodeVisitor):
             if func_name is not None else False,
             is_print=func_name == "print",
             fault_private_universe=func_name == "RandomStreams",
-            fault_stream_violation=self._fault_stream_violation(node),
+            fault_stream_violation=(
+                stream_literal is not None
+                and not stream_literal.startswith("fault:")
+            ),
+            fuzz_stream_call=(
+                stream_literal is not None
+                and stream_literal.startswith("fuzz:")
+            ),
             object_setattr=object_setattr,
             sim_run_call=sim_run_call,
             at_constant_time=at_constant_time,
@@ -781,6 +800,10 @@ def extract_facts(source: str, path: str = "<string>") -> ModuleFacts:
             or normalized.endswith("cli.py")
         ),
         is_fault_module="/fault/" in normalized or normalized.startswith("fault/"),
+        is_diff_module=(
+            "/verify/diff/" in normalized
+            or normalized.startswith("verify/diff/")
+        ),
         is_init_module=normalized.endswith("__init__.py"),
     )
     _FactsVisitor(facts).visit(tree)

@@ -36,6 +36,7 @@ from typing import Dict, FrozenSet, Optional, Tuple
 __all__ = [
     "KNOWN_PACKAGES",
     "LAYER_ALLOWED_IMPORTS",
+    "SUBTREE_ALLOWED_IMPORTS",
     "HOOK_EXCEPTIONS",
     "PRIVATE_ACCESS_EXEMPT",
     "LAYER_GROUP",
@@ -113,6 +114,16 @@ HOOK_EXCEPTIONS: FrozenSet[Tuple[str, str]] = frozenset({
     ("runner/bench.py", "service"),
 })
 
+#: Subtrees whose modules get their own import surface, overriding their
+#: package's row above.  The differential oracle/fuzzer orchestrates the
+#: whole system — experiments, the runner, snapshots, fault schedules —
+#: exactly like the CLI does, but lives under ``verify`` because digest
+#: equality is a verification concern.  Keyed by repro-relative path
+#: prefix; first match wins.
+SUBTREE_ALLOWED_IMPORTS: Dict[str, FrozenSet[str]] = {
+    "verify/diff/": frozenset(KNOWN_PACKAGES | {""}),
+}
+
 #: Packages exempt from REPRO110's cross-layer *private attribute* check.
 #: The snapshot codec's whole job is serializing other layers' private
 #: state (queue entries, RNG internals, busy-interval accounting); a
@@ -156,6 +167,15 @@ def module_package(normalized_path: str) -> Optional[str]:
     return head if head in KNOWN_PACKAGES else None
 
 
-def allowed_imports(package: str) -> FrozenSet[str]:
-    """Packages ``package`` may import at runtime (empty = unknown package)."""
+def allowed_imports(package: str, rel: Optional[str] = None) -> FrozenSet[str]:
+    """Packages ``package`` may import at runtime (empty = unknown package).
+
+    ``rel`` (the repro-relative module path) lets subtree overrides in
+    :data:`SUBTREE_ALLOWED_IMPORTS` widen one directory's surface without
+    touching its whole package.
+    """
+    if rel is not None:
+        for prefix, allowed in SUBTREE_ALLOWED_IMPORTS.items():
+            if rel.startswith(prefix):
+                return allowed
     return LAYER_ALLOWED_IMPORTS.get(package, frozenset())

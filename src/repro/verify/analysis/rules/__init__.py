@@ -7,7 +7,8 @@ Importing this package registers every built-in rule with
 Module                      Rules
 ==========================  ==============================================
 :mod:`.determinism`         REPRO101 unseeded-randomness, REPRO102
-                            wall-clock, REPRO108 fault-randomness
+                            wall-clock, REPRO108 fault-randomness,
+                            REPRO116 fuzz-randomness
 :mod:`.hygiene`             REPRO103 mutable-default, REPRO105
                             unused-import (re-export aware)
 :mod:`.kernel`              REPRO104 clock-mutation, REPRO113

@@ -108,3 +108,28 @@ def check_fault_streams(
                 "fault code drawing from a non-'fault:*' stream; faults must"
                 " never share protocol/traffic/noise randomness",
             )
+
+
+@rule("REPRO116", name="fuzz-randomness",
+      summary="'fuzz:*' substreams belong to repro/verify/diff/ only")
+def check_fuzz_streams(
+    facts: ModuleFacts, project: Optional[ProjectIndex]
+) -> Iterator[Finding]:
+    """The fuzzer's reserved namespace must not leak into the stack.
+
+    Scenario generation draws from dedicated ``fuzz:*`` substreams so a
+    fuzz case is reproducible from (seed, index) alone; protocol,
+    traffic or fault code drawing from that namespace would entangle
+    model behaviour with the fuzzing harness — the same containment
+    REPRO108 gives the ``fault:*`` namespace, pointed the other way.
+    """
+    if facts.is_diff_module:
+        return
+    for event in facts.call_events:
+        if event.fuzz_stream_call:
+            yield Finding(
+                facts.path, event.line, event.col, "REPRO116",
+                "'fuzz:*' substreams are reserved for the differential"
+                " fuzzer (repro/verify/diff/); model code must use its"
+                " own stream namespace",
+            )

@@ -62,7 +62,7 @@ def check_layering(
     package = facts.package
     if package is None or facts.rel is None:
         return
-    allowed = allowed_imports(package)
+    allowed = allowed_imports(package, facts.rel)
     own_module = module_fullname(facts.rel)
     for binding in facts.imports:
         if binding.type_checking:

@@ -1,0 +1,46 @@
+"""Greedy scenario shrinking: drop elements while the divergence persists.
+
+Classic delta-debugging lite: repeatedly try removing one element (pad,
+fault event, flow, extra link — structural first) and keep any removal
+that still fails the oracle.  The loop restarts after every successful
+removal, so the result is *1-minimal*: removing any single remaining
+element makes the divergence disappear.  That is the strongest guarantee
+worth paying for here — each probe is a full differential run, and
+1-minimal cases are already small enough to read.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+__all__ = ["shrink_case", "MAX_SHRINK_PROBES"]
+
+#: Upper bound on oracle probes one shrink may spend (safety valve; a
+#: handful of pads/flows/faults converges in far fewer).
+MAX_SHRINK_PROBES = 200
+
+
+def shrink_case(case: Any, still_fails: Callable[[Any], bool],
+                max_probes: int = MAX_SHRINK_PROBES) -> Any:
+    """Greedily 1-minimize ``case`` under the ``still_fails`` predicate.
+
+    ``case`` must expose ``removal_candidates()`` and ``remove(candidate)``
+    (returning None for removals that would leave the case degenerate) —
+    the :class:`repro.verify.diff.fuzz.FuzzScenario` surface.
+    """
+    probes = 0
+    improved = True
+    while improved and probes < max_probes:
+        improved = False
+        for candidate in case.removal_candidates():
+            smaller = case.remove(candidate)
+            if smaller is None:
+                continue
+            probes += 1
+            if still_fails(smaller):
+                case = smaller
+                improved = True
+                break
+            if probes >= max_probes:
+                break
+    return case

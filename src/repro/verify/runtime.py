@@ -21,12 +21,15 @@ from typing import Iterator, List, Optional
 __all__ = [
     "SanitizeStats",
     "capturing_digests",
+    "capturing_traces",
     "digests_enabled",
     "force_sanitize",
     "note_digest",
     "note_report",
+    "note_trace",
     "sanitize_enabled",
     "sanitized",
+    "traces_enabled",
 ]
 
 #: Programmatic override; None means "fall back to the environment".
@@ -109,6 +112,42 @@ def capturing_digests() -> Iterator[List[str]]:
         yield sink
     finally:
         _digest_sink = previous
+
+
+#: Trace sink of the innermost active :func:`capturing_traces` block.
+#: The heavyweight sibling of :data:`_digest_sink`: while set, every
+#: Scenario.run() appends its full record list (not just the digest),
+#: which is what the differential bisector needs to compare *events*
+#: once digests have already disagreed.
+_trace_sink: Optional[List[list]] = None
+
+
+def traces_enabled() -> bool:
+    """True while a :func:`capturing_traces` block is active."""
+    return _trace_sink is not None
+
+
+def note_trace(records: list) -> None:
+    """Record one scenario run's trace records (called by Scenario.run)."""
+    if _trace_sink is not None:
+        _trace_sink.append(records)
+
+
+@contextmanager
+def capturing_traces() -> Iterator[List[list]]:
+    """Force tracing on and collect every scenario's trace records.
+
+    Yields the list the per-scenario record lists accumulate into, in
+    scenario-run order (mirroring :func:`capturing_digests`).  Use only
+    for diagnosis — a long run's records dwarf its digest.
+    """
+    global _trace_sink
+    previous = _trace_sink
+    _trace_sink = sink = []
+    try:
+        yield sink
+    finally:
+        _trace_sink = previous
 
 
 @contextmanager

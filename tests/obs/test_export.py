@@ -114,3 +114,19 @@ def test_aggregate_files_and_cli(tmp_path, capsys):
 def test_aggregate_cli_missing_file_exits_2(tmp_path, capsys):
     assert aggregate_main([str(tmp_path / "nope.jsonl")]) == 2
     assert "no such file" in capsys.readouterr().err
+
+
+def test_bands_reject_duplicate_times_within_one_series():
+    import pytest
+
+    dup = [{"name": "g", "labels": {}, "kind": "gauge",
+            "t": [0.0, 1.0, 1.0], "v": [1.0, 2.0, 3.0]}]
+    with pytest.raises(ValueError, match="duplicate sample time"):
+        bands([dup])
+
+    # Equal times *across* seeds are the alignment mechanism, not an error.
+    a = [{"name": "g", "labels": {}, "kind": "gauge",
+          "t": [0.0, 1.0], "v": [1.0, 2.0]}]
+    b = [{"name": "g", "labels": {}, "kind": "gauge",
+          "t": [0.0, 1.0], "v": [3.0, 4.0]}]
+    assert bands([a, b])[0]["n"] == [2, 2]

@@ -121,3 +121,63 @@ def test_startup_sweeps_only_stale_tmp_files(tmp_path):
 def test_missing_cache_dir_sweep_is_harmless(tmp_path):
     cache = ResultCache(tmp_path / "never-created")
     assert cache.hits == 0 and cache.misses == 0
+
+
+def test_sweep_spares_live_writer_tmp_regardless_of_age(tmp_path):
+    import os
+    import time
+
+    from repro.runner.cache import TMP_SWEEP_AGE_S
+
+    # A slow write by a *live* process (ours), older than the age cutoff:
+    # under the old age-only sweep this would be yanked mid-write.
+    live = tmp_path / f"slow-write.{os.getpid()}.tmp"
+    live.write_bytes(b"in-flight write by a live worker")
+    old = time.time() - TMP_SWEEP_AGE_S - 60.0
+    os.utime(live, (old, old))
+
+    ResultCache(tmp_path)
+    assert live.exists()
+
+
+def test_sweep_reclaims_dead_writer_tmp_even_when_fresh(tmp_path):
+    import multiprocessing
+    import os
+
+    proc = multiprocessing.get_context("spawn").Process(target=int)
+    proc.start()
+    proc.join()
+    dead_pid = proc.pid
+    assert dead_pid is not None
+
+    dead = tmp_path / f"orphan.{dead_pid}.tmp"
+    dead.write_bytes(b"stranded by a killed worker")
+    ResultCache(tmp_path)
+    assert not dead.exists()
+
+
+def test_put_rewrites_when_sweep_races_the_rename(tmp_path, monkeypatch):
+    import os
+
+    import repro.runner.cache as cache_mod
+
+    cache = ResultCache(tmp_path)
+    fresh = _run_one(cache)
+
+    # Interleaving: another process's sweeper unlinks our tmp after the
+    # write but before the rename.  First os.replace sees no source.
+    real_replace = os.replace
+    raced = {"count": 0}
+
+    def racing_replace(src, dst, **kwargs):
+        if raced["count"] == 0:
+            raced["count"] += 1
+            os.unlink(src)
+        return real_replace(src, dst, **kwargs)
+
+    monkeypatch.setattr(cache_mod.os, "replace", racing_replace)
+    cache.put(fresh, _default_config())
+    assert raced["count"] == 1
+
+    served = _run_one(cache)
+    assert served.cached and served.digest == fresh.digest

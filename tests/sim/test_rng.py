@@ -64,3 +64,42 @@ def test_uniform_slots_degenerate_range():
     assert streams.uniform_slots("s", 2, 2) == 2
     # high < low clamps to low
     assert streams.uniform_slots("s", 3, 1) == 3
+
+
+def _crc32_colliding_pair():
+    """Brute-force two distinct names with equal crc32 (birthday bound)."""
+    import zlib
+
+    seen = {}
+    i = 0
+    while True:
+        name = f"s{i}"
+        key = zlib.crc32(name.encode("utf-8"))
+        if key in seen:
+            return seen[key], name
+        seen[key] = name
+        i += 1
+
+
+def test_crc32_collision_raises_instead_of_sharing_a_seed():
+    import pytest
+
+    first, second = _crc32_colliding_pair()
+    assert first != second
+
+    streams = RandomStreams(seed=42)
+    streams.get(first)
+    with pytest.raises(ValueError, match="collides"):
+        streams.get(second)
+
+    # Creation order must not matter: the survivor is whichever came first.
+    streams = RandomStreams(seed=42)
+    streams.get(second)
+    with pytest.raises(ValueError, match="collides"):
+        streams.get(first)
+
+
+def test_collision_guard_leaves_repeat_lookups_alone():
+    streams = RandomStreams(seed=42)
+    a = streams.get("mac:P1")
+    assert streams.get("mac:P1") is a  # same name re-registers freely

@@ -395,3 +395,36 @@ def test_repro114_allow_pragma():
 def test_repro114_unrelated_modules_clean():
     src = "import json\nx = json.dumps\n"
     assert "REPRO114" not in codes(src, path="src/repro/runner/cache.py")
+
+
+# ------------------------------------------------------------------ REPRO116
+
+
+def test_repro116_fuzz_streams_flagged_outside_diff():
+    bad = "def draw(streams):\n    return streams.get('fuzz:topology')\n"
+    assert "REPRO116" in codes(bad, path="repro/mac/macaw.py")
+    assert "REPRO116" in codes(bad, path="repro/fault/inject.py")
+    fstring = ("def draw(streams, i):\n"
+               "    return streams.get(f'fuzz:{i}:traffic')\n")
+    assert "REPRO116" in codes(fstring, path="repro/topo/builder.py")
+
+
+def test_repro116_diff_subtree_and_other_namespaces_clean():
+    fuzzy = "def draw(streams):\n    return streams.get('fuzz:topology')\n"
+    assert "REPRO116" not in codes(fuzzy, path="repro/verify/diff/fuzz.py")
+    other = "def draw(streams):\n    return streams.get('mac:P1')\n"
+    assert "REPRO116" not in codes(other, path="repro/mac/macaw.py")
+    dynamic = "def draw(streams, name):\n    return streams.get(name)\n"
+    assert "REPRO116" not in codes(dynamic, path="repro/mac/macaw.py")
+
+
+def test_repro110_diff_subtree_may_import_the_whole_tree():
+    src = ("from repro.runner.parallel import run_cells\n"
+           "from repro.service.job import profile_to_dict\n"
+           "from repro.snapshot import Snapshot\n"
+           "x = (run_cells, profile_to_dict, Snapshot)\n")
+    assert "REPRO110" not in codes(src, path="repro/verify/diff/oracle.py")
+    # The rest of verify keeps its narrow surface.
+    outside = ("from repro.runner.parallel import run_cells\n"
+               "x = run_cells\n")
+    assert "REPRO110" in codes(outside, path="repro/verify/conformance.py")

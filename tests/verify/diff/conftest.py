@@ -1,0 +1,50 @@
+"""Shared fixture: a test-only queue backend that injects a divergence.
+
+``late-shift`` behaves exactly like the stock heap except that every
+event scheduled past :data:`PERTURB_TRIGGER_S` lands
+:data:`PERTURB_EPS_S` late.  The perturbation is deterministic (a pure
+function of the push sequence) and horizon-prefix-stable (it depends
+only on the executed prefix, never on the total horizon), so a clean
+backend and this one share a byte-identical record prefix and then part
+ways at the first post-trigger event — exactly the synthetic divergence
+the bisector must localize.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.events import EventHandle
+from repro.sim.queues import QUEUE_BACKENDS
+from repro.sim.queues.heap import HeapQueue
+
+#: Events scheduled strictly after this simulated time get delayed.
+PERTURB_TRIGGER_S = 3.0
+
+#: How late each post-trigger event lands.
+PERTURB_EPS_S = 0.25
+
+
+class LateShiftQueue(HeapQueue):
+    """Heap clone that delays every post-trigger event by a fixed eps."""
+
+    name = "late-shift"
+
+    def push(self, time: float, priority: int, seq: int,
+             handle: EventHandle) -> None:
+        if time > PERTURB_TRIGGER_S:
+            time = time + PERTURB_EPS_S
+            # The kernel reads the fire time back off the handle, so the
+            # entry key and the handle must stay consistent.
+            handle.time = time
+        super().push(time, priority, seq, handle)
+
+
+@pytest.fixture
+def perturb_queue():
+    """Register the perturbing backend for one test; always deregister."""
+    QUEUE_BACKENDS["late-shift"] = LateShiftQueue
+    try:
+        yield "late-shift"
+    finally:
+        QUEUE_BACKENDS.pop("late-shift", None)
